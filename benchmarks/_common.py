@@ -1,0 +1,17 @@
+"""Shared constants and helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small") == "full"
+
+# deterministic seeds so EXPERIMENTS.md numbers are reproducible
+HOT_SEED = 20060911
+AS_SEED = 20060912
+GENERATION_SEED = 1
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

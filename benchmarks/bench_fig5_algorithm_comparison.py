@@ -1,0 +1,77 @@
+"""Figure 5: per-algorithm comparison of the 2K and 3K constructions.
+
+* 5a -- clustering C(k) in the skitter-like graph for the five 2K algorithms,
+* 5b -- distance distribution in the HOT-like graph for the five 2K algorithms,
+* 5c -- distance distribution in the HOT-like graph for the two 3K algorithms.
+
+Paper shape: all algorithms produce consistent curves except the stochastic
+construction, which deviates visibly.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import (
+    clustering_series,
+    distance_distribution_series,
+    series_l1_difference,
+)
+from repro.analysis.tables import series_table
+from repro.core.randomness import dk_random_graph
+from benchmarks._common import GENERATION_SEED, run_once
+
+
+def _build_2k_family(graph):
+    return {
+        method: dk_random_graph(graph, 2, method=method, rng=GENERATION_SEED)
+        for method in ("stochastic", "pseudograph", "matching", "rewiring", "targeting")
+    }
+
+
+def _build_3k_family(graph):
+    return {
+        method: dk_random_graph(graph, 3, method=method, rng=GENERATION_SEED)
+        for method in ("rewiring", "targeting")
+    }
+
+
+def test_fig5a_clustering_per_2k_algorithm(benchmark, skitter_graph):
+    family = run_once(benchmark, _build_2k_family, skitter_graph)
+    family["original"] = skitter_graph
+    series = clustering_series(family)
+    print()
+    print(series_table(series, x_label="degree", title="Figure 5a: C(k) per 2K algorithm", max_rows=15))
+    reference = series["original"]
+    differences = {
+        label: series_l1_difference(series[label], reference) for label in family if label != "original"
+    }
+    # the rewiring-based constructions are no worse than the stochastic one
+    assert differences["rewiring"] <= differences["stochastic"] * 1.5 + 1.0
+
+
+def test_fig5b_5c_distance_distributions_on_hot(benchmark, hot_graph):
+    def build(graph):
+        two_k = _build_2k_family(graph)
+        three_k = _build_3k_family(graph)
+        return two_k, three_k
+
+    two_k, three_k = run_once(benchmark, build, hot_graph)
+    two_k["original"] = hot_graph
+    three_k["original"] = hot_graph
+    series_2k = distance_distribution_series(two_k)
+    series_3k = distance_distribution_series(three_k)
+    print()
+    print(series_table(series_2k, x_label="hops", title="Figure 5b: HOT distance PDF per 2K algorithm", max_rows=20))
+    print()
+    print(series_table(series_3k, x_label="hops", title="Figure 5c: HOT distance PDF per 3K algorithm", max_rows=20))
+
+    reference = series_2k["original"]
+    errors = {
+        label: series_l1_difference(series_2k[label], reference)
+        for label in two_k
+        if label != "original"
+    }
+    # consistency of the non-stochastic algorithms: their distance PDFs stay
+    # closer to the original than the stochastic construction's
+    assert min(errors["pseudograph"], errors["matching"], errors["rewiring"]) <= errors["stochastic"] + 0.05
+    # the 3K-randomizing construction is essentially exact on distances
+    assert series_l1_difference(series_3k["rewiring"], series_3k["original"]) < 0.35

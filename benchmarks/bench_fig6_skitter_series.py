@@ -1,0 +1,58 @@
+"""Figure 6: distance distribution, betweenness(k) and C(k) for dK-random vs skitter.
+
+Paper shape: the series converge toward the original as d grows; clustering is
+the last metric to fall in line (only at 3K).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.convergence import dk_random_family
+from repro.analysis.figures import (
+    betweenness_series,
+    clustering_series,
+    distance_distribution_series,
+    series_l1_difference,
+)
+from repro.analysis.tables import series_table
+from benchmarks._common import GENERATION_SEED, run_once
+
+
+def test_fig6_skitter_series(benchmark, skitter_graph):
+    family = run_once(
+        benchmark, dk_random_family, skitter_graph, ds=(0, 1, 2, 3), rng=GENERATION_SEED
+    )
+    graphs = {f"{d}K-random": graph for d, graph in sorted(family.items())}
+    graphs["skitter-like"] = skitter_graph
+
+    distances = distance_distribution_series(graphs)
+    betweenness = betweenness_series(graphs, sources=200, rng=GENERATION_SEED)
+    clustering = clustering_series(graphs)
+
+    print()
+    print(series_table(distances, x_label="hops", title="Figure 6a: distance distribution", max_rows=15))
+    print()
+    print(series_table(betweenness, x_label="degree", title="Figure 6b: betweenness per degree", max_rows=15))
+    print()
+    print(series_table(clustering, x_label="degree", title="Figure 6c: clustering C(k)", max_rows=15))
+
+    reference_distance = distances["skitter-like"]
+    distance_errors = {
+        label: series_l1_difference(series, reference_distance)
+        for label, series in distances.items()
+        if label != "skitter-like"
+    }
+    # convergence: 2K/3K distance PDFs are closer to the original than 0K's
+    assert distance_errors["3K-random"] <= distance_errors["0K-random"]
+    assert distance_errors["2K-random"] <= distance_errors["0K-random"]
+
+    reference_clustering = clustering["skitter-like"]
+    clustering_errors = {
+        label: series_l1_difference(series, reference_clustering)
+        for label, series in clustering.items()
+        if label != "skitter-like"
+    }
+    # clustering per degree is only reproduced once wedges/triangles are
+    # constrained: the 3K error is the smallest of all levels
+    assert clustering_errors["3K-random"] <= min(
+        clustering_errors["0K-random"], clustering_errors["1K-random"], clustering_errors["2K-random"]
+    ) + 1e-9

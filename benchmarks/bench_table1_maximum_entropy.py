@@ -1,0 +1,56 @@
+"""Table 1 (analytic column): maximum-entropy values of (d+1)K-distributions.
+
+Checks that dK-random graphs built by the library display the closed-form
+maximum-entropy next-level distributions of Table 1:
+
+* 0K-random graphs -> Poisson degree distribution,
+* 1K-random graphs -> uncorrelated joint degree distribution.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.entropy import maximum_entropy_degree_distribution, maximum_entropy_jdd
+from repro.core.extraction import (
+    average_degree,
+    degree_distribution,
+    joint_degree_distribution,
+)
+from repro.core.randomness import dk_random_graph
+from benchmarks._common import GENERATION_SEED, run_once
+
+
+def _table1_study(graph):
+    zero_k = average_degree(graph)
+    one_k = degree_distribution(graph)
+
+    zero_random = dk_random_graph(graph, 0, rng=GENERATION_SEED)
+    one_random = dk_random_graph(graph, 1, rng=GENERATION_SEED)
+
+    observed_1k = degree_distribution(zero_random).pmf()
+    predicted_1k = maximum_entropy_degree_distribution(zero_k, max_degree=60)
+    poisson_tv = 0.5 * sum(
+        abs(observed_1k.get(k, 0.0) - predicted_1k.get(k, 0.0))
+        for k in set(observed_1k) | set(predicted_1k)
+    )
+
+    observed_2k = joint_degree_distribution(one_random).pmf()
+    predicted_2k = maximum_entropy_jdd(one_k)
+    jdd_l1 = sum(
+        abs(observed_2k.get(key, 0.0) - predicted_2k.get(key, 0.0))
+        for key in set(observed_2k) | set(predicted_2k)
+    )
+    return poisson_tv, jdd_l1
+
+
+def test_table1_maximum_entropy_forms(benchmark, skitter_graph):
+    poisson_tv, jdd_l1 = run_once(benchmark, _table1_study, skitter_graph)
+    rows = [
+        ["0K-random degree distribution vs Poisson (TV distance)", poisson_tv],
+        ["1K-random JDD vs k1 P(k1) k2 P(k2)/kbar^2 (L1 distance)", jdd_l1],
+    ]
+    print()
+    print(render_table(["Maximum-entropy check", "distance"], rows, title="Table 1 (analytic)"))
+    # both realized distributions sit close to their maximum-entropy forms
+    assert poisson_tv < 0.25
+    assert jdd_l1 < 0.6

@@ -1,0 +1,47 @@
+"""Table 3: scalar metrics of 2K-random HOT graphs from the five algorithms.
+
+Paper shape: stochastic drifts (higher k̄, shorter distances); pseudograph,
+matching, 2K-randomizing and 2K-targeting all agree closely with each other
+and with the original on k̄ and r.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import compare_2k_algorithms
+from repro.analysis.tables import scalar_metrics_table
+from repro.core.randomness import dk_random_graph
+from benchmarks._common import GENERATION_SEED, run_once
+
+
+def test_table3_2k_algorithms_on_hot(benchmark, hot_graph):
+    comparison = run_once(
+        benchmark,
+        compare_2k_algorithms,
+        hot_graph,
+        instances=2,
+        rng=GENERATION_SEED,
+        compute_spectrum=False,
+    )
+    print()
+    print(
+        scalar_metrics_table(
+            comparison.as_columns(original_label="Orig. HOT"),
+            title="Table 3: scalar metrics for 2K-random HOT graphs (per algorithm)",
+        )
+    )
+    columns = comparison.columns
+    original = comparison.original
+    # every non-stochastic algorithm reproduces k̄ and r closely
+    for label in ("Pseudograph", "Matching", "2K-randomizing", "2K-targeting"):
+        assert columns[label].average_degree == pytest.approx(original.average_degree, rel=0.1)
+        assert columns[label].assortativity == pytest.approx(original.assortativity, abs=0.1)
+    # the stochastic construction is the outlier (paper Section 5.1): its
+    # distance structure departs the most from the original
+    non_stochastic_error = max(
+        abs(columns[label].mean_distance - original.mean_distance)
+        for label in ("Pseudograph", "Matching", "2K-randomizing", "2K-targeting")
+    )
+    stochastic_error = abs(columns["Stochastic"].mean_distance - original.mean_distance)
+    assert stochastic_error >= 0.5 * non_stochastic_error

@@ -1,0 +1,45 @@
+"""Table 4: scalar metrics of 3K-random HOT graphs (randomizing vs targeting).
+
+Paper shape: both 3K constructions reproduce the original HOT metrics almost
+exactly (3K essentially pins the topology down).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import compare_3k_algorithms
+from repro.analysis.tables import scalar_metrics_table
+from benchmarks._common import GENERATION_SEED, run_once
+
+
+def test_table4_3k_algorithms_on_hot(benchmark, hot_graph):
+    comparison = run_once(
+        benchmark,
+        compare_3k_algorithms,
+        hot_graph,
+        instances=1,
+        rng=GENERATION_SEED,
+        compute_spectrum=False,
+    )
+    print()
+    print(
+        scalar_metrics_table(
+            comparison.as_columns(original_label="Orig. HOT"),
+            title="Table 4: scalar metrics for 3K-random HOT graphs",
+        )
+    )
+    original = comparison.original
+    randomizing = comparison.columns["3K-randomizing"]
+    # 3K-randomizing rewiring preserves the 3K-distribution exactly, so k̄, r
+    # and clustering coincide with the original
+    assert randomizing.average_degree == pytest.approx(original.average_degree, rel=0.02)
+    assert randomizing.assortativity == pytest.approx(original.assortativity, abs=0.02)
+    assert randomizing.mean_clustering == pytest.approx(original.mean_clustering, abs=0.02)
+    # the distance structure is also essentially pinned down
+    assert randomizing.mean_distance == pytest.approx(original.mean_distance, rel=0.15)
+    # targeting starts from a 2K seed and moves toward the target 3K counts:
+    # it stays in the right neighbourhood on the scalar metrics
+    targeting = comparison.columns["3K-targeting"]
+    assert targeting.average_degree == pytest.approx(original.average_degree, rel=0.1)
+    assert targeting.assortativity == pytest.approx(original.assortativity, abs=0.1)

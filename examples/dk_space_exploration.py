@@ -1,0 +1,66 @@
+"""dK-space exploration (Section 4.3 of the paper).
+
+Shows how constrained each level of the dK-series is by driving scalar
+metrics defined by the *next* level to their extremes while preserving the
+current level:
+
+* 1K-space: maximize / minimize the likelihood S (defined by 2K),
+* 2K-space: maximize / minimize mean clustering C̄ and the second-order
+  likelihood S2 (defined by 3K).
+
+The shrinking spread of these metrics as d grows is the paper's practical
+criterion for choosing the smallest sufficient d.
+
+Usage::
+
+    python examples/dk_space_exploration.py [nodes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.tables import render_table
+from repro.generators.exploration import explore_1k_likelihood, explore_2k, likelihood
+from repro.metrics.clustering import mean_clustering
+from repro.topologies import synthetic_as_topology
+
+
+def main(nodes: int = 500) -> None:
+    original = synthetic_as_topology(nodes, rng=21)
+    attempts = 20 * original.number_of_edges
+    print(f"AS-like topology: {original}")
+
+    # 1K space: spread of the likelihood S
+    s_base = likelihood(original)
+    s_max = explore_1k_likelihood(original, "max", rng=1, max_attempts=attempts)
+    s_min = explore_1k_likelihood(original, "min", rng=1, max_attempts=attempts)
+
+    # 2K space: spread of the mean clustering
+    c_base = mean_clustering(original)
+    c_max = explore_2k(original, "clustering", "max", rng=2, max_attempts=attempts)
+    c_min = explore_2k(original, "clustering", "min", rng=2, max_attempts=attempts)
+
+    rows = [
+        ["likelihood S (1K space)", s_min.metric_value, s_base, s_max.metric_value,
+         (s_max.metric_value - s_min.metric_value) / s_base],
+        ["mean clustering (2K space)", c_min.metric_value, c_base, c_max.metric_value,
+         (c_max.metric_value - c_min.metric_value) / max(c_base, 1e-9)],
+    ]
+    print()
+    print(
+        render_table(
+            ["metric (space explored)", "min", "original", "max", "relative spread"],
+            rows,
+            title="dK-space exploration: how constraining is each level?",
+        )
+    )
+    print(
+        "\nThe 1K space leaves a wide band of possible degree correlations, while "
+        "the 2K space already pins most structure down -- clustering is the main "
+        "remaining degree of freedom, which is exactly what the 3K level fixes."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 500)

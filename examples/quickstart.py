@@ -1,0 +1,48 @@
+"""Quickstart: analyze a topology, generate dK-random counterparts, compare.
+
+Runs the complete dK-series workflow of the paper on a small HOT-like
+router topology:
+
+1. extract the 0K..3K distributions,
+2. generate dK-random graphs for d = 0..3 with dK-preserving rewiring,
+3. compare the scalar metrics of each against the original.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DKSeries, dk_random_graph, graph_dk_distance, summarize
+from repro.analysis.tables import scalar_metrics_table
+from repro.topologies import build_topology
+
+
+def main() -> None:
+    original = build_topology("hot_small")
+    print(f"original topology: {original}")
+
+    # 1. analysis: extract the dK-series
+    series = DKSeries.from_graph(original)
+    print("\ndK-series summary of the original graph:")
+    for key, value in series.summary().items():
+        print(f"  {key:28s} {value:.4g}")
+
+    # 2. generation + 3. comparison
+    columns = {"original": summarize(original, compute_spectrum=False)}
+    for d in range(4):
+        generated = dk_random_graph(original, d, rng=d)
+        assert graph_dk_distance(original, generated, d) == 0.0, "P_d must be preserved"
+        columns[f"{d}K-random"] = summarize(generated, compute_spectrum=False)
+
+    print()
+    print(scalar_metrics_table(columns, title="dK-random graphs vs the original"))
+    print(
+        "\nNote how the metrics converge to the original's column as d grows -- "
+        "the paper's central result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``python setup.py develop`` works in fully offline environments where
+the ``wheel`` package (required by PEP 660 editable installs) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

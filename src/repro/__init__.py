@@ -1,0 +1,55 @@
+"""repro -- dK-series topology analysis and generation.
+
+A pure-Python reproduction of "Systematic Topology Analysis and Generation
+Using Degree Correlations" (Mahadevan, Krioukov, Fall, Vahdat -- SIGCOMM
+2006): the dK-series of degree-correlation distributions, graph construction
+algorithms for d = 0..3 (stochastic, pseudograph, matching, rewiring,
+targeting), dK-space explorations, a topology-metric suite, synthetic
+evaluation topologies, and the analysis harness that regenerates the paper's
+tables and figures.
+
+Quickstart::
+
+    from repro import SimpleGraph, dk_distribution, dk_random_graph, summarize
+    from repro.topologies import build_topology
+
+    original = build_topology("hot")
+    jdd = dk_distribution(original, 2)          # analyze
+    random_2k = dk_random_graph(original, 2)    # generate
+    print(summarize(random_2k))                 # compare
+"""
+
+from repro.core import (
+    AverageDegree,
+    DegreeDistribution,
+    DKSeries,
+    JointDegreeDistribution,
+    ThreeKDistribution,
+    dk_distance,
+    dk_distribution,
+    dk_random_graph,
+    graph_dk_distance,
+)
+from repro.graph import SimpleGraph, from_networkx, giant_component, to_networkx
+from repro.metrics import ScalarMetrics, summarize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimpleGraph",
+    "from_networkx",
+    "to_networkx",
+    "giant_component",
+    "AverageDegree",
+    "DegreeDistribution",
+    "JointDegreeDistribution",
+    "ThreeKDistribution",
+    "DKSeries",
+    "dk_distribution",
+    "dk_distance",
+    "graph_dk_distance",
+    "dk_random_graph",
+    "ScalarMetrics",
+    "summarize",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Analysis harness: algorithm comparison, convergence studies, figures, tables."""
+
+from repro.analysis.comparison import (
+    AlgorithmComparison,
+    compare_2k_algorithms,
+    compare_3k_algorithms,
+    compare_generators,
+    standard_2k_generators,
+    standard_3k_generators,
+)
+from repro.analysis.convergence import (
+    ConvergenceStudy,
+    dk_convergence_study,
+    dk_random_family,
+)
+from repro.analysis.figures import (
+    betweenness_series,
+    clustering_series,
+    degree_ccdf_series,
+    distance_distribution_series,
+    series_l1_difference,
+)
+from repro.analysis.tables import (
+    SCALAR_ROWS,
+    format_value,
+    render_table,
+    scalar_metrics_table,
+    series_table,
+)
+
+__all__ = [
+    "AlgorithmComparison",
+    "compare_generators",
+    "compare_2k_algorithms",
+    "compare_3k_algorithms",
+    "standard_2k_generators",
+    "standard_3k_generators",
+    "ConvergenceStudy",
+    "dk_convergence_study",
+    "dk_random_family",
+    "betweenness_series",
+    "clustering_series",
+    "degree_ccdf_series",
+    "distance_distribution_series",
+    "series_l1_difference",
+    "SCALAR_ROWS",
+    "format_value",
+    "render_table",
+    "scalar_metrics_table",
+    "series_table",
+]

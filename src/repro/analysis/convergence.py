@@ -1,0 +1,111 @@
+"""dK-series convergence studies (Tables 6 and 8, Figures 3, 6, 8, 9).
+
+A convergence study compares an original topology against its dK-random
+counterparts for ``d = 0..3`` and reports how the scalar metrics (and the
+figure series) approach the original as ``d`` grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.randomness import dk_random_graph
+from repro.graph.simple_graph import SimpleGraph
+from repro.metrics.summary import ScalarMetrics, average_summaries, summarize
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+
+@dataclass
+class ConvergenceStudy:
+    """Scalar-metric convergence of dK-random graphs toward an original graph."""
+
+    original: ScalarMetrics
+    by_d: dict[int, ScalarMetrics]
+    sample_graphs: dict[int, SimpleGraph] = field(default_factory=dict)
+
+    def as_columns(self, original_label: str = "Original") -> dict[str, ScalarMetrics]:
+        """Columns for table rendering: 0K..3K followed by the original."""
+        columns = {f"{d}K": summary for d, summary in sorted(self.by_d.items())}
+        columns[original_label] = self.original
+        return columns
+
+    def convergence_error(self, metric: str) -> dict[int, float]:
+        """Absolute error of one scalar metric per dK level."""
+        reference = getattr(self.original, metric)
+        return {
+            d: abs(getattr(summary, metric) - reference) for d, summary in self.by_d.items()
+        }
+
+    def is_monotonically_converging(self, metric: str, slack: float = 0.0) -> bool:
+        """True when the metric error does not grow as ``d`` increases.
+
+        ``slack`` allows small non-monotonic wiggles (random instances).
+        """
+        errors = [error for _, error in sorted(self.convergence_error(metric).items())]
+        return all(later <= earlier + slack for earlier, later in zip(errors, errors[1:]))
+
+
+def dk_convergence_study(
+    original: SimpleGraph,
+    *,
+    ds: tuple[int, ...] = (0, 1, 2, 3),
+    instances: int = 3,
+    method: str = "rewiring",
+    rng: RngLike = None,
+    distance_sources: int | None = None,
+    compute_spectrum: bool = True,
+    keep_sample_graphs: bool = False,
+) -> ConvergenceStudy:
+    """Generate dK-random graphs for each requested ``d`` and summarize them.
+
+    Parameters
+    ----------
+    instances:
+        Number of random instances per ``d`` whose summaries are averaged
+        (the paper uses 100; benchmarks use a handful to stay fast).
+    method:
+        Construction method passed to :func:`repro.core.dk_random_graph`.
+    keep_sample_graphs:
+        Keep one generated instance per ``d`` (used by the figure series).
+    """
+    rng = ensure_rng(rng)
+    original_summary = summarize(
+        original, distance_sources=distance_sources, compute_spectrum=compute_spectrum
+    )
+    by_d: dict[int, ScalarMetrics] = {}
+    samples: dict[int, SimpleGraph] = {}
+    for d in ds:
+        summaries = []
+        for index, child in enumerate(spawn_rngs(rng, instances)):
+            graph = dk_random_graph(original, d, method=method, rng=child)
+            if keep_sample_graphs and index == 0:
+                samples[d] = graph
+            summaries.append(
+                summarize(
+                    graph,
+                    distance_sources=distance_sources,
+                    compute_spectrum=compute_spectrum,
+                    rng=child,
+                )
+            )
+        by_d[d] = average_summaries(summaries)
+    return ConvergenceStudy(original=original_summary, by_d=by_d, sample_graphs=samples)
+
+
+def dk_random_family(
+    original: SimpleGraph,
+    *,
+    ds: tuple[int, ...] = (0, 1, 2, 3),
+    method: str = "rewiring",
+    rng: RngLike = None,
+) -> dict[int, SimpleGraph]:
+    """One dK-random instance per requested ``d`` (for figure-series plots)."""
+    rng = ensure_rng(rng)
+    children = spawn_rngs(rng, len(ds))
+    return {
+        d: dk_random_graph(original, d, method=method, rng=child)
+        for d, child in zip(ds, children)
+    }
+
+
+__all__ = ["ConvergenceStudy", "dk_convergence_study", "dk_random_family"]

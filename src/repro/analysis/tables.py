@@ -1,0 +1,94 @@
+"""Plain-text table rendering for experiment outputs.
+
+The benchmark harness prints tables shaped like the paper's Tables 3-8; this
+module holds the small formatting helpers so that benchmarks, examples and
+the CLI all render results the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.metrics.summary import ScalarMetrics
+
+# row order and labels used for the paper-style scalar-metric tables
+SCALAR_ROWS: tuple[tuple[str, str], ...] = (
+    ("average_degree", "kbar"),
+    ("assortativity", "r"),
+    ("mean_clustering", "Cbar"),
+    ("mean_distance", "dbar"),
+    ("distance_std", "sigma_d"),
+    ("lambda_1", "lambda_1"),
+    ("lambda_n_1", "lambda_n-1"),
+)
+
+
+def format_value(value: float, precision: int = 3) -> str:
+    """Format a numeric value compactly (integers stay integers)."""
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.001:
+        return f"{value:.3g}"
+    return f"{value:.{precision}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    text_rows = [[str(h) for h in headers]]
+    for row in rows:
+        text_rows.append(
+            [format_value(cell) if isinstance(cell, float) else str(cell) for cell in row]
+        )
+    widths = [max(len(row[i]) for row in text_rows) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    for index, row in enumerate(text_rows):
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def scalar_metrics_table(
+    columns: Mapping[str, ScalarMetrics],
+    *,
+    title: str | None = None,
+    rows: Sequence[tuple[str, str]] = SCALAR_ROWS,
+) -> str:
+    """Render a paper-style table: one column per graph, one row per metric."""
+    headers = ["Metric", *columns.keys()]
+    body = []
+    for field_name, label in rows:
+        body.append([label, *(getattr(summary, field_name) for summary in columns.values())])
+    return render_table(headers, body, title=title)
+
+
+def series_table(
+    series: Mapping[str, Mapping],
+    *,
+    x_label: str = "x",
+    title: str | None = None,
+    max_rows: int | None = None,
+) -> str:
+    """Render several ``{x: y}`` series side by side (the figure data dumps)."""
+    xs = sorted({x for values in series.values() for x in values})
+    if max_rows is not None and len(xs) > max_rows:
+        step = max(1, len(xs) // max_rows)
+        xs = xs[::step]
+    headers = [x_label, *series.keys()]
+    rows = []
+    for x in xs:
+        rows.append([x, *(series[label].get(x, 0.0) for label in series)])
+    return render_table(headers, rows, title=title)
+
+
+__all__ = ["SCALAR_ROWS", "format_value", "render_table", "scalar_metrics_table", "series_table"]

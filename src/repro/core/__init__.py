@@ -1,0 +1,56 @@
+"""The dK-series core: distributions, extraction, distances, entropy, series."""
+
+from repro.core.distance import (
+    distance_0k,
+    distance_1k,
+    distance_2k,
+    distance_3k,
+    dk_distance,
+    graph_dk_distance,
+)
+from repro.core.distributions import (
+    AverageDegree,
+    DegreeDistribution,
+    JointDegreeDistribution,
+    ThreeKDistribution,
+)
+from repro.core.entropy import (
+    expected_jdd_edge_counts,
+    maximum_entropy_degree_distribution,
+    maximum_entropy_jdd,
+    poisson_degree_pmf,
+)
+from repro.core.extraction import (
+    average_degree,
+    degree_distribution,
+    dk_distribution,
+    joint_degree_distribution,
+    three_k_distribution,
+)
+from repro.core.randomness import dk_random_graph
+from repro.core.series import SUPPORTED_D, DKSeries
+
+__all__ = [
+    "AverageDegree",
+    "DegreeDistribution",
+    "JointDegreeDistribution",
+    "ThreeKDistribution",
+    "average_degree",
+    "degree_distribution",
+    "joint_degree_distribution",
+    "three_k_distribution",
+    "dk_distribution",
+    "dk_distance",
+    "graph_dk_distance",
+    "distance_0k",
+    "distance_1k",
+    "distance_2k",
+    "distance_3k",
+    "poisson_degree_pmf",
+    "maximum_entropy_degree_distribution",
+    "maximum_entropy_jdd",
+    "expected_jdd_edge_counts",
+    "dk_random_graph",
+    "DKSeries",
+    "SUPPORTED_D",
+]

@@ -1,0 +1,86 @@
+"""dK distances ``D_d`` between graphs or between dK-distributions.
+
+The paper's targeting rewiring accepts a rewiring step only if it decreases
+the distance to the target dK-distribution, measured as the sum of squared
+differences between current and target subgraph counts (Section 4.1.4):
+
+* ``D_1`` -- squared differences of per-degree node counts,
+* ``D_2 = Σ_{k1,k2} [m_current(k1,k2) - m_target(k1,k2)]²``,
+* ``D_3`` -- the same sum over wedge *and* triangle counts.
+
+``D_0`` is defined for completeness as the squared difference of edge counts.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from repro.core.distributions import (
+    AverageDegree,
+    DegreeDistribution,
+    JointDegreeDistribution,
+    ThreeKDistribution,
+)
+from repro.core.extraction import dk_distribution
+from repro.graph.simple_graph import SimpleGraph
+
+Distribution = Union[
+    AverageDegree, DegreeDistribution, JointDegreeDistribution, ThreeKDistribution
+]
+
+
+def _sum_squared_count_differences(a: Mapping, b: Mapping) -> float:
+    keys = set(a) | set(b)
+    return float(sum((a.get(key, 0) - b.get(key, 0)) ** 2 for key in keys))
+
+
+def distance_0k(a: AverageDegree, b: AverageDegree) -> float:
+    """``D_0``: squared difference of edge counts."""
+    return float((a.edges - b.edges) ** 2)
+
+
+def distance_1k(a: DegreeDistribution, b: DegreeDistribution) -> float:
+    """``D_1``: sum of squared differences of per-degree node counts."""
+    return _sum_squared_count_differences(a.counts, b.counts)
+
+
+def distance_2k(a: JointDegreeDistribution, b: JointDegreeDistribution) -> float:
+    """``D_2``: sum of squared differences of JDD edge counts."""
+    return _sum_squared_count_differences(a.counts, b.counts)
+
+
+def distance_3k(a: ThreeKDistribution, b: ThreeKDistribution) -> float:
+    """``D_3``: squared differences of wedge counts plus triangle counts."""
+    return _sum_squared_count_differences(a.wedges, b.wedges) + _sum_squared_count_differences(
+        a.triangles, b.triangles
+    )
+
+
+def dk_distance(a: Distribution, b: Distribution) -> float:
+    """Dispatch to the appropriate ``D_d`` based on the distribution types."""
+    if isinstance(a, AverageDegree) and isinstance(b, AverageDegree):
+        return distance_0k(a, b)
+    if isinstance(a, DegreeDistribution) and isinstance(b, DegreeDistribution):
+        return distance_1k(a, b)
+    if isinstance(a, JointDegreeDistribution) and isinstance(b, JointDegreeDistribution):
+        return distance_2k(a, b)
+    if isinstance(a, ThreeKDistribution) and isinstance(b, ThreeKDistribution):
+        return distance_3k(a, b)
+    raise TypeError(
+        f"cannot compute a dK distance between {type(a).__name__} and {type(b).__name__}"
+    )
+
+
+def graph_dk_distance(graph_a: SimpleGraph, graph_b: SimpleGraph, d: int) -> float:
+    """``D_d`` between the dK-distributions of two graphs."""
+    return dk_distance(dk_distribution(graph_a, d), dk_distribution(graph_b, d))
+
+
+__all__ = [
+    "distance_0k",
+    "distance_1k",
+    "distance_2k",
+    "distance_3k",
+    "dk_distance",
+    "graph_dk_distance",
+]

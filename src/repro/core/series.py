@@ -1,0 +1,130 @@
+"""The dK-series: orchestration of extraction, inclusion and convergence.
+
+A :class:`DKSeries` bundles the 0K..3K distributions of one input graph and
+provides the operations the paper builds its methodology on:
+
+* the *inclusion* property (``P_d`` determines ``P_{d-1}``), exposed as
+  explicit projections plus a consistency check;
+* distance of another graph to each level of the series (used to decide the
+  smallest ``d`` that describes a topology "well enough");
+* a compact summary used by the analysis/CLI layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.distance import dk_distance
+from repro.core.distributions import (
+    AverageDegree,
+    DegreeDistribution,
+    JointDegreeDistribution,
+    ThreeKDistribution,
+)
+from repro.core.extraction import dk_distribution
+from repro.graph.simple_graph import SimpleGraph
+
+SUPPORTED_D = (0, 1, 2, 3)
+
+
+@dataclass
+class DKSeries:
+    """The dK-distributions of one graph for ``d = 0..3``."""
+
+    zero_k: AverageDegree
+    one_k: DegreeDistribution
+    two_k: JointDegreeDistribution
+    three_k: ThreeKDistribution
+
+    @classmethod
+    def from_graph(cls, graph: SimpleGraph) -> "DKSeries":
+        """Extract all supported dK-distributions from ``graph``."""
+        return cls(
+            zero_k=dk_distribution(graph, 0),
+            one_k=dk_distribution(graph, 1),
+            two_k=dk_distribution(graph, 2),
+            three_k=dk_distribution(graph, 3),
+        )
+
+    def distribution(self, d: int):
+        """The dK-distribution for ``d`` in ``{0, 1, 2, 3}``."""
+        if d == 0:
+            return self.zero_k
+        if d == 1:
+            return self.one_k
+        if d == 2:
+            return self.two_k
+        if d == 3:
+            return self.three_k
+        raise ValueError(f"d must be one of {SUPPORTED_D}, got {d}")
+
+    # ------------------------------------------------------------------ #
+    # inclusion property
+    # ------------------------------------------------------------------ #
+    def verify_inclusion(self, tolerance: float = 1e-9) -> bool:
+        """Check that each stored level projects onto the one below it.
+
+        Returns ``True`` when the stored 1K/2K/3K distributions are mutually
+        consistent (the 2K projects exactly onto the 1K, the 1K onto the 0K
+        and the 3K carries the same 2K).  Extraction from a single graph
+        always satisfies this; the check guards hand-assembled series.
+        """
+        if self.three_k.to_lower() != self.two_k:
+            return False
+        projected_one_k = self.two_k.to_lower()
+        # degree-0 nodes are invisible to the JDD unless recorded explicitly
+        if projected_one_k != self.one_k:
+            return False
+        projected_zero_k = self.one_k.to_lower()
+        return (
+            projected_zero_k.nodes == self.zero_k.nodes
+            and projected_zero_k.edges == self.zero_k.edges
+            and abs(projected_zero_k.average_degree - self.zero_k.average_degree) <= tolerance
+        )
+
+    # ------------------------------------------------------------------ #
+    # distances / convergence
+    # ------------------------------------------------------------------ #
+    def distance_to_graph(self, graph: SimpleGraph, d: int) -> float:
+        """``D_d`` between this series and the dK-distribution of ``graph``."""
+        return dk_distance(self.distribution(d), dk_distribution(graph, d))
+
+    def distances_to_graph(self, graph: SimpleGraph, ds: Iterable[int] = SUPPORTED_D) -> dict[int, float]:
+        """``D_d`` for every requested ``d``."""
+        return {d: self.distance_to_graph(graph, d) for d in ds}
+
+    def matches_graph(self, graph: SimpleGraph, d: int) -> bool:
+        """True when ``graph`` has exactly this series' dK-distribution at level ``d``."""
+        return self.distance_to_graph(graph, d) == 0.0
+
+    def smallest_matching_d(self, graph: SimpleGraph) -> int | None:
+        """Largest ``d`` (within the supported range) whose distribution
+        ``graph`` reproduces exactly, or ``None`` if not even 0K matches."""
+        best: int | None = None
+        for d in SUPPORTED_D:
+            if self.matches_graph(graph, d):
+                best = d
+            else:
+                break
+        return best
+
+    # ------------------------------------------------------------------ #
+    # summary
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict[str, float]:
+        """Compact numeric summary of the series (used by the CLI)."""
+        return {
+            "nodes": float(self.zero_k.nodes),
+            "edges": float(self.zero_k.edges),
+            "average_degree": self.zero_k.average_degree,
+            "max_degree": float(self.one_k.max_degree()),
+            "assortativity": self.two_k.assortativity(),
+            "likelihood": self.two_k.likelihood(),
+            "wedges": float(self.three_k.wedge_total),
+            "triangles": float(self.three_k.triangle_total),
+            "second_order_likelihood": self.three_k.second_order_likelihood(),
+        }
+
+
+__all__ = ["DKSeries", "SUPPORTED_D"]

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the dK-series reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all library-specific exceptions."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph manipulations (self-loops, missing edges...)."""
+
+
+class DistributionError(ReproError):
+    """Raised for malformed or inconsistent dK-distributions."""
+
+
+class GenerationError(ReproError):
+    """Raised when a graph generator cannot complete a construction."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative procedure fails to converge within budget."""
+
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "DistributionError",
+    "GenerationError",
+    "ConvergenceError",
+]

@@ -1,0 +1,66 @@
+"""Graph generators: stochastic, pseudograph, matching, rewiring, exploration."""
+
+from repro.generators import matching, pseudograph, stochastic
+from repro.generators.exploration import (
+    ExplorationResult,
+    explore_1k_likelihood,
+    explore_2k,
+    extreme_metric_gap,
+    likelihood,
+)
+from repro.generators.matching import matching_1k, matching_2k
+from repro.generators.pseudograph import pseudograph_1k, pseudograph_2k
+from repro.generators.rewiring.counting import (
+    RewiringCounts,
+    count_dk_rewirings,
+    rewiring_count_table,
+)
+from repro.generators.rewiring.preserving import (
+    dk_randomize,
+    randomize_0k,
+    randomize_1k,
+    randomize_2k,
+    randomize_3k,
+    verify_randomization_converged,
+)
+from repro.generators.rewiring.targeting import (
+    TargetingResult,
+    dk_targeting_construct,
+    target_2k_from_1k,
+    target_3k_from_2k,
+)
+from repro.generators.stochastic import stochastic_0k, stochastic_1k, stochastic_2k
+from repro.generators.threek import ThreeKDelta, ThreeKTracker
+
+__all__ = [
+    "matching",
+    "pseudograph",
+    "stochastic",
+    "stochastic_0k",
+    "stochastic_1k",
+    "stochastic_2k",
+    "pseudograph_1k",
+    "pseudograph_2k",
+    "matching_1k",
+    "matching_2k",
+    "dk_randomize",
+    "randomize_0k",
+    "randomize_1k",
+    "randomize_2k",
+    "randomize_3k",
+    "verify_randomization_converged",
+    "TargetingResult",
+    "target_2k_from_1k",
+    "target_3k_from_2k",
+    "dk_targeting_construct",
+    "RewiringCounts",
+    "count_dk_rewirings",
+    "rewiring_count_table",
+    "ExplorationResult",
+    "explore_1k_likelihood",
+    "explore_2k",
+    "extreme_metric_gap",
+    "likelihood",
+    "ThreeKDelta",
+    "ThreeKTracker",
+]

@@ -1,0 +1,225 @@
+"""dK-space explorations (Section 4.3 of the paper).
+
+A dK-space exploration constructs *non-random* dK-graphs: graphs constrained
+by ``P_d`` but with extreme values of a simple scalar metric that is defined
+by ``P_{d+1}`` and not by ``P_d``.  The paper uses:
+
+* 1K-space: the likelihood ``S = Σ_{edges} k_u k_v`` (defined by 2K),
+* 2K-space: the second-order likelihood ``S2`` (degree correlations at
+  distance two, defined by the wedge component of 3K) and the mean
+  clustering ``C̄`` (defined by the triangle component of 3K).
+
+Each exploration is a targeting rewiring that accepts a dK-preserving move
+only when it pushes the chosen metric in the requested direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.generators.rewiring.swaps import (
+    EdgeEndIndex,
+    jdd_delta_of_swap,
+    propose_1k_swap,
+    propose_2k_swap,
+)
+from repro.generators.threek import ThreeKDelta, ThreeKTracker
+from repro.graph.simple_graph import SimpleGraph
+from repro.utils.rng import RngLike, ensure_rng
+
+Mode = Literal["max", "min"]
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a dK-space exploration run."""
+
+    graph: SimpleGraph
+    metric_value: float
+    accepted_moves: int
+    attempted_moves: int
+    metric_trace: list[float]
+
+
+def _improves(change: float, mode: Mode) -> bool:
+    if mode == "max":
+        return change > 0
+    if mode == "min":
+        return change < 0
+    raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+
+
+def likelihood(graph: SimpleGraph) -> float:
+    """Likelihood ``S = Σ_{(u,v) in E} k_u k_v`` (Li et al.)."""
+    degrees = graph.degrees()
+    return float(sum(degrees[u] * degrees[v] for u, v in graph.edges()))
+
+
+def explore_1k_likelihood(
+    graph: SimpleGraph,
+    mode: Mode = "max",
+    *,
+    rng: RngLike = None,
+    max_attempts: int | None = None,
+) -> ExplorationResult:
+    """1K-space exploration: drive ``S`` to its extreme with 1K-preserving swaps.
+
+    This is the experiment that led Li et al. to conclude that the degree
+    distribution alone (d = 1) is not constraining enough for router-level
+    topologies.
+    """
+    rng = ensure_rng(rng)
+    result = graph.copy()
+    degrees = result.degrees()
+    value = likelihood(result)
+    if max_attempts is None:
+        max_attempts = 100 * max(result.number_of_edges, 1)
+
+    accepted = 0
+    trace = [value]
+    for attempt in range(max_attempts):
+        swap = propose_1k_swap(result, rng)
+        if swap is None:
+            continue
+        change = 0.0
+        for u, v in swap.removals:
+            change -= degrees[u] * degrees[v]
+        for u, v in swap.additions:
+            change += degrees[u] * degrees[v]
+        if _improves(change, mode):
+            swap.apply(result)
+            value += change
+            accepted += 1
+            if accepted % 1000 == 0:
+                trace.append(value)
+    trace.append(value)
+    return ExplorationResult(
+        graph=result,
+        metric_value=value,
+        accepted_moves=accepted,
+        attempted_moves=max_attempts,
+        metric_trace=trace,
+    )
+
+
+def _second_order_likelihood_change(degrees: list[int], delta: ThreeKDelta) -> float:
+    change = 0.0
+    for (ka, _kc, kb), count in delta.wedges.items():
+        change += count * ka * kb
+    for (ka, kb, kc), count in delta.triangles.items():
+        change += count * (ka * kb + ka * kc + kb * kc)
+    return change
+
+
+def _mean_clustering_change(degrees: list[int], delta: ThreeKDelta, n: int) -> float:
+    change = 0.0
+    for node, triangles in delta.node_triangles.items():
+        k = degrees[node]
+        if k < 2:
+            continue
+        change += triangles / (k * (k - 1) / 2.0)
+    return change / n if n else 0.0
+
+
+def explore_2k(
+    graph: SimpleGraph,
+    metric: Literal["clustering", "s2"],
+    mode: Mode = "max",
+    *,
+    rng: RngLike = None,
+    max_attempts: int | None = None,
+) -> ExplorationResult:
+    """2K-space exploration: drive ``C̄`` or ``S2`` to an extreme with
+    2K-preserving (JDD-preserving) swaps."""
+    rng = ensure_rng(rng)
+    result = graph.copy()
+    degrees = result.degrees()
+    n = result.number_of_nodes
+    index = EdgeEndIndex(result)
+    tracker = ThreeKTracker(result)
+
+    if metric == "clustering":
+        value = sum(
+            tracker.node_triangles[node] / (degrees[node] * (degrees[node] - 1) / 2.0)
+            for node in range(n)
+            if degrees[node] >= 2
+        ) / n if n else 0.0
+    elif metric == "s2":
+        value = 0.0
+        for (ka, _kc, kb), count in tracker.wedges.items():
+            value += count * ka * kb
+        for (ka, kb, kc), count in tracker.triangles.items():
+            value += count * (ka * kb + ka * kc + kb * kc)
+    else:
+        raise ValueError(f"metric must be 'clustering' or 's2', got {metric!r}")
+
+    if max_attempts is None:
+        max_attempts = 100 * max(result.number_of_edges, 1)
+
+    accepted = 0
+    trace = [value]
+    for attempt in range(max_attempts):
+        swap = propose_2k_swap(result, index, rng)
+        if swap is None:
+            continue
+        delta = tracker.apply_edges(result, list(swap.removals), list(swap.additions))
+        if metric == "clustering":
+            change = _mean_clustering_change(degrees, delta, n)
+        else:
+            change = _second_order_likelihood_change(degrees, delta)
+        if _improves(change, mode):
+            index.apply_swap(swap)
+            tracker.commit(delta)
+            value += change
+            accepted += 1
+            if accepted % 1000 == 0:
+                trace.append(value)
+        else:
+            tracker.revert_edges(result, list(swap.removals), list(swap.additions))
+    trace.append(value)
+    return ExplorationResult(
+        graph=result,
+        metric_value=value,
+        accepted_moves=accepted,
+        attempted_moves=max_attempts,
+        metric_trace=trace,
+    )
+
+
+def extreme_metric_gap(
+    graph: SimpleGraph,
+    d: int,
+    *,
+    rng: RngLike = None,
+    max_attempts: int | None = None,
+) -> dict[str, float]:
+    """Gap between extreme values of the next-level metrics for a dK space.
+
+    This is the paper's heuristic for deciding whether a given ``d`` is
+    constraining enough: explore the dK space toward the maximum and minimum
+    of metrics defined by ``P_{d+1}`` and report the spread.
+    """
+    rng = ensure_rng(rng)
+    if d == 1:
+        high = explore_1k_likelihood(graph, "max", rng=rng, max_attempts=max_attempts)
+        low = explore_1k_likelihood(graph, "min", rng=rng, max_attempts=max_attempts)
+        return {"metric": 1.0, "max": high.metric_value, "min": low.metric_value,
+                "gap": high.metric_value - low.metric_value}
+    if d == 2:
+        high = explore_2k(graph, "clustering", "max", rng=rng, max_attempts=max_attempts)
+        low = explore_2k(graph, "clustering", "min", rng=rng, max_attempts=max_attempts)
+        return {"metric": 2.0, "max": high.metric_value, "min": low.metric_value,
+                "gap": high.metric_value - low.metric_value}
+    raise ValueError("extreme_metric_gap is implemented for d in {1, 2}")
+
+
+__all__ = [
+    "ExplorationResult",
+    "likelihood",
+    "explore_1k_likelihood",
+    "explore_2k",
+    "extreme_metric_gap",
+]

@@ -1,0 +1,61 @@
+"""Rewiring-based dK-graph construction: preserving, targeting, counting."""
+
+from repro.generators.rewiring.counting import (
+    RewiringCounts,
+    count_dk_rewirings,
+    rewiring_count_table,
+)
+from repro.generators.rewiring.preserving import (
+    dk_randomize,
+    randomize_0k,
+    randomize_1k,
+    randomize_2k,
+    randomize_3k,
+    verify_randomization_converged,
+)
+from repro.generators.rewiring.swaps import (
+    EdgeEndIndex,
+    Swap,
+    double_swap_is_valid,
+    jdd_delta_of_double_swap,
+    jdd_delta_of_swap,
+    make_double_swap,
+    propose_0k_move,
+    propose_1k_swap,
+    propose_2k_swap,
+)
+from repro.generators.rewiring.targeting import (
+    TargetingResult,
+    constant_temperature,
+    dk_targeting_construct,
+    geometric_cooling,
+    target_2k_from_1k,
+    target_3k_from_2k,
+)
+
+__all__ = [
+    "RewiringCounts",
+    "count_dk_rewirings",
+    "rewiring_count_table",
+    "dk_randomize",
+    "randomize_0k",
+    "randomize_1k",
+    "randomize_2k",
+    "randomize_3k",
+    "verify_randomization_converged",
+    "EdgeEndIndex",
+    "Swap",
+    "double_swap_is_valid",
+    "jdd_delta_of_double_swap",
+    "jdd_delta_of_swap",
+    "make_double_swap",
+    "propose_0k_move",
+    "propose_1k_swap",
+    "propose_2k_swap",
+    "TargetingResult",
+    "constant_temperature",
+    "geometric_cooling",
+    "dk_targeting_construct",
+    "target_2k_from_1k",
+    "target_3k_from_2k",
+]

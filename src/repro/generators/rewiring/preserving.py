@@ -1,0 +1,202 @@
+"""dK-preserving randomizing rewiring (Section 4.1.4 of the paper).
+
+``dk_randomize(graph, d)`` produces a dK-random counterpart of ``graph`` by
+performing a large number of random dK-preserving moves:
+
+* d = 0: re-attach random edges to random non-adjacent node pairs,
+* d = 1: degree-preserving double edge swaps,
+* d = 2: double edge swaps whose exchanged endpoints have equal degrees
+  (joint-degree-distribution preserving),
+* d = 3: 2K-preserving swaps accepted only when the wedge and triangle
+  distributions are left exactly unchanged.
+
+The number of *accepted* moves defaults to ``multiplier * m`` (the Markov
+chain of [Gkantsidis et al. 2003] mixes in O(m) steps; the paper performs ten
+times its count of possible initial rewirings, which is of the same order).
+A global attempt budget guards against the very restricted 3K case in which
+acceptable moves may be rare.
+"""
+
+from __future__ import annotations
+
+from repro.generators.rewiring.swaps import (
+    EdgeEndIndex,
+    propose_0k_move,
+    propose_1k_swap,
+    propose_2k_swap,
+)
+from repro.generators.threek import ThreeKTracker
+from repro.graph.simple_graph import SimpleGraph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def _target_moves(graph: SimpleGraph, multiplier: float) -> int:
+    return max(1, int(multiplier * graph.number_of_edges))
+
+
+def randomize_0k(
+    graph: SimpleGraph,
+    *,
+    rng: RngLike = None,
+    multiplier: float = 10.0,
+    max_attempt_factor: int = 50,
+) -> SimpleGraph:
+    """0K-preserving randomization of a copy of ``graph``."""
+    rng = ensure_rng(rng)
+    result = graph.copy()
+    target = _target_moves(result, multiplier)
+    budget = max_attempt_factor * target
+    accepted = 0
+    while accepted < target and budget > 0:
+        budget -= 1
+        move = propose_0k_move(result, rng)
+        if move is None:
+            continue
+        move.apply(result)
+        accepted += 1
+    return result
+
+
+def randomize_1k(
+    graph: SimpleGraph,
+    *,
+    rng: RngLike = None,
+    multiplier: float = 10.0,
+    max_attempt_factor: int = 50,
+) -> SimpleGraph:
+    """1K-preserving (degree-preserving) randomization of a copy of ``graph``."""
+    rng = ensure_rng(rng)
+    result = graph.copy()
+    target = _target_moves(result, multiplier)
+    budget = max_attempt_factor * target
+    accepted = 0
+    while accepted < target and budget > 0:
+        budget -= 1
+        swap = propose_1k_swap(result, rng)
+        if swap is None:
+            continue
+        swap.apply(result)
+        accepted += 1
+    return result
+
+
+def randomize_2k(
+    graph: SimpleGraph,
+    *,
+    rng: RngLike = None,
+    multiplier: float = 10.0,
+    max_attempt_factor: int = 50,
+) -> SimpleGraph:
+    """2K-preserving (JDD-preserving) randomization of a copy of ``graph``."""
+    rng = ensure_rng(rng)
+    result = graph.copy()
+    index = EdgeEndIndex(result)
+    target = _target_moves(result, multiplier)
+    budget = max_attempt_factor * target
+    accepted = 0
+    while accepted < target and budget > 0:
+        budget -= 1
+        swap = propose_2k_swap(result, index, rng)
+        if swap is None:
+            continue
+        swap.apply(result)
+        index.apply_swap(swap)
+        accepted += 1
+    return result
+
+
+def randomize_3k(
+    graph: SimpleGraph,
+    *,
+    rng: RngLike = None,
+    multiplier: float = 10.0,
+    max_attempt_factor: int = 200,
+) -> SimpleGraph:
+    """3K-preserving randomization of a copy of ``graph``.
+
+    Proposals are 2K-preserving swaps; a proposal is accepted only if the
+    wedge and triangle distributions are left exactly unchanged.  Because the
+    3K space is typically very constrained (cf. Table 5 of the paper), the
+    attempt budget is the binding limit rather than the accepted-move target.
+    """
+    rng = ensure_rng(rng)
+    result = graph.copy()
+    index = EdgeEndIndex(result)
+    tracker = ThreeKTracker(result)
+    target = _target_moves(result, multiplier)
+    budget = max_attempt_factor * max(result.number_of_edges, 1)
+    accepted = 0
+    while accepted < target and budget > 0:
+        budget -= 1
+        swap = propose_2k_swap(result, index, rng)
+        if swap is None:
+            continue
+        delta = tracker.apply_edges(result, list(swap.removals), list(swap.additions))
+        if delta.is_zero():
+            index.apply_swap(swap)
+            tracker.commit(delta)
+            accepted += 1
+        else:
+            tracker.revert_edges(result, list(swap.removals), list(swap.additions))
+    return result
+
+
+def dk_randomize(
+    graph: SimpleGraph,
+    d: int,
+    *,
+    rng: RngLike = None,
+    multiplier: float = 10.0,
+) -> SimpleGraph:
+    """Dispatch to the dK-preserving randomizer for ``d`` in ``{0, 1, 2, 3}``."""
+    if d == 0:
+        return randomize_0k(graph, rng=rng, multiplier=multiplier)
+    if d == 1:
+        return randomize_1k(graph, rng=rng, multiplier=multiplier)
+    if d == 2:
+        return randomize_2k(graph, rng=rng, multiplier=multiplier)
+    if d == 3:
+        return randomize_3k(graph, rng=rng, multiplier=multiplier)
+    raise ValueError(f"dK-randomizing rewiring is implemented for d in 0..3, got {d}")
+
+
+def verify_randomization_converged(
+    graph: SimpleGraph,
+    d: int,
+    metric,
+    *,
+    rng: RngLike = None,
+    extra_multiplier: float = 5.0,
+    relative_tolerance: float = 0.1,
+) -> bool:
+    """Convergence check advocated by the paper: rewire some more and see
+    whether a chosen scalar ``metric(graph)`` stays (approximately) unchanged.
+
+    Parameters
+    ----------
+    graph:
+        An already-randomized dK-graph.
+    d:
+        The dK level that must be preserved by the extra rewirings.
+    metric:
+        Callable mapping a graph to a float.
+    extra_multiplier:
+        How many extra accepted moves (in units of ``m``) to apply.
+    relative_tolerance:
+        Maximum allowed relative change of the metric.
+    """
+    before = float(metric(graph))
+    extra = dk_randomize(graph, d, rng=rng, multiplier=extra_multiplier)
+    after = float(metric(extra))
+    scale = max(abs(before), abs(after), 1e-12)
+    return abs(after - before) / scale <= relative_tolerance
+
+
+__all__ = [
+    "randomize_0k",
+    "randomize_1k",
+    "randomize_2k",
+    "randomize_3k",
+    "dk_randomize",
+    "verify_randomization_converged",
+]

@@ -1,0 +1,189 @@
+"""Incremental 3K bookkeeping.
+
+A degree-preserving double-edge swap changes the wedge and triangle
+distributions only in the neighbourhood of the four touched nodes.  This
+module computes *exact* per-edge-toggle deltas in O(deg) time, which powers:
+
+* the 3K-preserving acceptance test of the randomizing rewiring
+  (accept only if both deltas are identically zero),
+* the ``D_3`` objective of 3K-targeting rewiring,
+* the incremental mean-clustering updates of 2K-space exploration.
+
+All keys use the *fixed* degree array captured when the tracker is created;
+this is correct because every supported rewiring move is degree-preserving.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.exceptions import GraphError
+from repro.graph.simple_graph import SimpleGraph
+from repro.graph.subgraphs import (
+    triangle_degree_counts,
+    triangle_key,
+    triangles_per_node,
+    wedge_degree_counts,
+    wedge_key,
+)
+
+
+@dataclass
+class ThreeKDelta:
+    """Change of the 3K counts (and per-node triangle counts) of one or more toggles."""
+
+    wedges: Counter = field(default_factory=Counter)
+    triangles: Counter = field(default_factory=Counter)
+    node_triangles: Counter = field(default_factory=Counter)
+
+    def is_zero(self) -> bool:
+        """True when neither wedge nor triangle counts changed."""
+        return not any(self.wedges.values()) and not any(self.triangles.values())
+
+    def merge(self, other: "ThreeKDelta") -> None:
+        """Accumulate another delta into this one."""
+        self.wedges.update(other.wedges)
+        self.triangles.update(other.triangles)
+        self.node_triangles.update(other.node_triangles)
+
+    def negate(self) -> "ThreeKDelta":
+        """The opposite delta (used when a tentative change is reverted)."""
+        return ThreeKDelta(
+            wedges=Counter({k: -v for k, v in self.wedges.items()}),
+            triangles=Counter({k: -v for k, v in self.triangles.items()}),
+            node_triangles=Counter({k: -v for k, v in self.node_triangles.items()}),
+        )
+
+
+def remove_edge_delta(graph: SimpleGraph, degrees: list[int], u: int, v: int) -> ThreeKDelta:
+    """Delta caused by removing edge ``(u, v)``; the edge is actually removed.
+
+    ``degrees`` is the fixed degree array the 3K keys are expressed in.
+    """
+    if not graph.has_edge(u, v):
+        raise GraphError(f"edge ({u}, {v}) is not present")
+    delta = ThreeKDelta()
+    ku, kv = degrees[u], degrees[v]
+    neighbors_u = graph.neighbors(u)
+    neighbors_v = graph.neighbors(v)
+    for x in neighbors_u:
+        if x == v:
+            continue
+        kx = degrees[x]
+        if x in neighbors_v:
+            # triangle u-v-x destroyed; the two surviving edges form a wedge
+            # centred at x.
+            delta.triangles[triangle_key(ku, kv, kx)] -= 1
+            delta.wedges[wedge_key(kx, ku, kv)] += 1
+            delta.node_triangles[u] -= 1
+            delta.node_triangles[v] -= 1
+            delta.node_triangles[x] -= 1
+        else:
+            # open wedge v - u - x destroyed
+            delta.wedges[wedge_key(ku, kv, kx)] -= 1
+    for y in neighbors_v:
+        if y == u or y in neighbors_u:
+            continue
+        # open wedge u - v - y destroyed
+        delta.wedges[wedge_key(kv, ku, degrees[y])] -= 1
+    graph.remove_edge(u, v)
+    return delta
+
+
+def add_edge_delta(graph: SimpleGraph, degrees: list[int], u: int, v: int) -> ThreeKDelta:
+    """Delta caused by adding edge ``(u, v)``; the edge is actually added."""
+    if graph.has_edge(u, v):
+        raise GraphError(f"edge ({u}, {v}) is already present")
+    if u == v:
+        raise GraphError("cannot add a self-loop")
+    delta = ThreeKDelta()
+    ku, kv = degrees[u], degrees[v]
+    neighbors_u = graph.neighbors(u)
+    neighbors_v = graph.neighbors(v)
+    for x in neighbors_u:
+        kx = degrees[x]
+        if x in neighbors_v:
+            # new triangle u-v-x; the wedge centred at x closes
+            delta.triangles[triangle_key(ku, kv, kx)] += 1
+            delta.wedges[wedge_key(kx, ku, kv)] -= 1
+            delta.node_triangles[u] += 1
+            delta.node_triangles[v] += 1
+            delta.node_triangles[x] += 1
+        else:
+            # new open wedge v - u - x
+            delta.wedges[wedge_key(ku, kv, kx)] += 1
+    for y in neighbors_v:
+        if y == u or y in neighbors_u:
+            continue
+        # new open wedge u - v - y
+        delta.wedges[wedge_key(kv, ku, degrees[y])] += 1
+    graph.add_edge(u, v)
+    return delta
+
+
+class ThreeKTracker:
+    """Maintains the 3K counts of a graph while it is being rewired.
+
+    The tracker owns the *fixed* degree array and the current wedge/triangle
+    counters.  ``apply_swap`` performs the edge toggles of a swap while
+    computing its exact delta; ``revert_swap`` undoes them; ``commit`` folds a
+    delta into the maintained counters.
+    """
+
+    def __init__(self, graph: SimpleGraph):
+        self.degrees = graph.degrees()
+        self.wedges: Counter = wedge_degree_counts(graph)
+        self.triangles: Counter = triangle_degree_counts(graph)
+        self.node_triangles: list[int] = triangles_per_node(graph)
+
+    # -- toggles ----------------------------------------------------------- #
+    def apply_edges(
+        self,
+        graph: SimpleGraph,
+        removals: list[tuple[int, int]],
+        additions: list[tuple[int, int]],
+    ) -> ThreeKDelta:
+        """Toggle the given edges sequentially, returning the combined delta.
+
+        The graph is left in the modified state; the tracker's counters are
+        *not* updated until :meth:`commit` is called.
+        """
+        total = ThreeKDelta()
+        for u, v in removals:
+            total.merge(remove_edge_delta(graph, self.degrees, u, v))
+        for u, v in additions:
+            total.merge(add_edge_delta(graph, self.degrees, u, v))
+        return total
+
+    def revert_edges(
+        self,
+        graph: SimpleGraph,
+        removals: list[tuple[int, int]],
+        additions: list[tuple[int, int]],
+    ) -> None:
+        """Undo a previous :meth:`apply_edges` call (same arguments)."""
+        for u, v in additions:
+            graph.remove_edge(u, v)
+        for u, v in removals:
+            graph.add_edge(u, v)
+
+    def commit(self, delta: ThreeKDelta) -> None:
+        """Fold an accepted delta into the tracked counters."""
+        self.wedges.update(delta.wedges)
+        self.triangles.update(delta.triangles)
+        for node, change in delta.node_triangles.items():
+            self.node_triangles[node] += change
+        # keep the counters clean of zero entries so equality checks stay exact
+        for key in [k for k, v in self.wedges.items() if v == 0]:
+            del self.wedges[key]
+        for key in [k for k, v in self.triangles.items() if v == 0]:
+            del self.triangles[key]
+
+
+__all__ = [
+    "ThreeKDelta",
+    "ThreeKTracker",
+    "remove_edge_delta",
+    "add_edge_delta",
+]

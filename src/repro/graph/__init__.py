@@ -1,0 +1,37 @@
+"""Graph substrate: simple-graph data structure, components, subgraph counts, I/O."""
+
+from repro.graph.components import (
+    connected_components,
+    giant_component,
+    is_connected,
+    largest_component_nodes,
+    number_of_components,
+)
+from repro.graph.conversion import from_networkx, to_networkx
+from repro.graph.simple_graph import SimpleGraph, canonical_edge
+from repro.graph.subgraphs import (
+    iter_triangles,
+    local_clustering,
+    triangle_count,
+    triangle_degree_counts,
+    wedge_count,
+    wedge_degree_counts,
+)
+
+__all__ = [
+    "SimpleGraph",
+    "canonical_edge",
+    "connected_components",
+    "giant_component",
+    "is_connected",
+    "largest_component_nodes",
+    "number_of_components",
+    "from_networkx",
+    "to_networkx",
+    "iter_triangles",
+    "local_clustering",
+    "triangle_count",
+    "triangle_degree_counts",
+    "wedge_count",
+    "wedge_degree_counts",
+]

@@ -1,0 +1,69 @@
+"""Conversions between :class:`SimpleGraph` and :mod:`networkx` graphs.
+
+networkx is used as a cross-check oracle in the test suite and for a few
+metrics (betweenness centrality) where its implementations are convenient.
+The library's own algorithms all operate on :class:`SimpleGraph`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.simple_graph import SimpleGraph
+
+
+def to_networkx(graph: SimpleGraph) -> nx.Graph:
+    """Convert a :class:`SimpleGraph` into an undirected :class:`networkx.Graph`."""
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.number_of_nodes))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_networkx(g: nx.Graph) -> tuple[SimpleGraph, dict]:
+    """Convert a networkx graph into a :class:`SimpleGraph`.
+
+    Nodes are relabelled to consecutive integers; the mapping
+    ``original label -> integer id`` is returned alongside the graph.
+    Self-loops are dropped; parallel edges (MultiGraph input) collapse.
+    """
+    labels = list(g.nodes())
+    mapping = {label: index for index, label in enumerate(labels)}
+    graph = SimpleGraph(len(labels))
+    for u, v in g.edges():
+        if u == v:
+            continue
+        graph.add_edge(mapping[u], mapping[v])
+    return graph, mapping
+
+
+def adjacency_matrix(graph: SimpleGraph) -> sp.csr_matrix:
+    """Sparse symmetric adjacency matrix of the graph."""
+    n = graph.number_of_nodes
+    edges = graph.edge_list()
+    if not edges:
+        return sp.csr_matrix((n, n))
+    rows = []
+    cols = []
+    for u, v in edges:
+        rows.append(u)
+        cols.append(v)
+        rows.append(v)
+        cols.append(u)
+    data = np.ones(len(rows))
+    return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def to_adjacency_lists(graph: SimpleGraph) -> list[list[int]]:
+    """Plain list-of-lists adjacency representation (sorted neighbours)."""
+    return [sorted(graph.neighbors(u)) for u in graph.nodes()]
+
+
+__all__ = [
+    "to_networkx",
+    "from_networkx",
+    "adjacency_matrix",
+    "to_adjacency_lists",
+]

@@ -1,0 +1,87 @@
+"""Topology metrics (Section 2 of the paper)."""
+
+from repro.metrics.assortativity import (
+    assortativity,
+    assortativity_from_likelihood,
+    average_neighbor_degree,
+    likelihood,
+    normalized_likelihood,
+    s_max_upper_bound,
+    second_order_likelihood,
+    second_order_likelihood_open,
+)
+from repro.metrics.betweenness import (
+    betweenness_by_degree,
+    edge_betweenness,
+    node_betweenness,
+)
+from repro.metrics.clustering import (
+    clustering_by_degree,
+    local_clustering_coefficients,
+    mean_clustering,
+    transitivity,
+)
+from repro.metrics.degree import (
+    average_degree,
+    degree_ccdf,
+    degree_histogram,
+    degree_moment,
+    degree_pmf,
+    max_degree,
+    power_law_exponent_mle,
+)
+from repro.metrics.distances import (
+    bfs_distances,
+    diameter,
+    distance_distribution,
+    distance_histogram,
+    distance_std,
+    eccentricity,
+    mean_distance,
+)
+from repro.metrics.spectrum import (
+    extreme_eigenvalues,
+    laplacian_spectrum,
+    normalized_laplacian,
+    spectral_gap,
+)
+from repro.metrics.summary import ScalarMetrics, average_summaries, summarize
+
+__all__ = [
+    "assortativity",
+    "assortativity_from_likelihood",
+    "average_neighbor_degree",
+    "likelihood",
+    "normalized_likelihood",
+    "s_max_upper_bound",
+    "second_order_likelihood",
+    "second_order_likelihood_open",
+    "betweenness_by_degree",
+    "edge_betweenness",
+    "node_betweenness",
+    "clustering_by_degree",
+    "local_clustering_coefficients",
+    "mean_clustering",
+    "transitivity",
+    "average_degree",
+    "degree_ccdf",
+    "degree_histogram",
+    "degree_moment",
+    "degree_pmf",
+    "max_degree",
+    "power_law_exponent_mle",
+    "bfs_distances",
+    "diameter",
+    "distance_distribution",
+    "distance_histogram",
+    "distance_std",
+    "eccentricity",
+    "mean_distance",
+    "extreme_eigenvalues",
+    "laplacian_spectrum",
+    "normalized_laplacian",
+    "spectral_gap",
+    "ScalarMetrics",
+    "average_summaries",
+    "summarize",
+]

@@ -1,0 +1,57 @@
+"""Clustering metrics: local clustering, C(k), mean clustering C̄, transitivity."""
+
+from __future__ import annotations
+
+from repro.graph.simple_graph import SimpleGraph
+from repro.graph.subgraphs import triangle_count, triangles_per_node
+
+
+def local_clustering_coefficients(graph: SimpleGraph) -> list[float]:
+    """Local clustering coefficient of every node (0 for degree < 2)."""
+    triangles = triangles_per_node(graph)
+    values = []
+    for node in graph.nodes():
+        k = graph.degree(node)
+        if k < 2:
+            values.append(0.0)
+        else:
+            values.append(2.0 * triangles[node] / (k * (k - 1)))
+    return values
+
+
+def mean_clustering(graph: SimpleGraph) -> float:
+    """``C̄``: mean of the local clustering coefficients over all nodes."""
+    n = graph.number_of_nodes
+    if n == 0:
+        return 0.0
+    return sum(local_clustering_coefficients(graph)) / n
+
+
+def clustering_by_degree(graph: SimpleGraph) -> dict[int, float]:
+    """``C(k)``: mean local clustering of k-degree nodes (k >= 2)."""
+    coefficients = local_clustering_coefficients(graph)
+    sums: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for node in graph.nodes():
+        k = graph.degree(node)
+        if k < 2:
+            continue
+        sums[k] = sums.get(k, 0.0) + coefficients[node]
+        counts[k] = counts.get(k, 0) + 1
+    return {k: sums[k] / counts[k] for k in sorted(sums)}
+
+
+def transitivity(graph: SimpleGraph) -> float:
+    """Global transitivity ``3 * triangles / (number of connected triples)``."""
+    triples = sum(k * (k - 1) // 2 for k in graph.degrees())
+    if triples == 0:
+        return 0.0
+    return 3.0 * triangle_count(graph) / triples
+
+
+__all__ = [
+    "local_clustering_coefficients",
+    "mean_clustering",
+    "clustering_by_degree",
+    "transitivity",
+]

@@ -1,0 +1,140 @@
+"""Shortest-path distance metrics: distance distribution d(x), d̄, σ_d, diameter.
+
+The distance distribution is the fraction of node pairs at each hop distance
+(the paper normalizes by ``n²`` with self-pairs included, so ``d(0) = 1/n``).
+All computations run plain BFS sweeps over the adjacency structure; for large
+graphs a uniformly sampled subset of source nodes can be used.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.graph.simple_graph import SimpleGraph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def bfs_distances(graph: SimpleGraph, source: int) -> list[int]:
+    """Hop distances from ``source`` to every node (-1 when unreachable)."""
+    distances = [-1] * graph.number_of_nodes
+    distances[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        next_distance = distances[u] + 1
+        for v in graph.neighbors(u):
+            if distances[v] < 0:
+                distances[v] = next_distance
+                queue.append(v)
+    return distances
+
+
+def distance_histogram(
+    graph: SimpleGraph,
+    *,
+    sources: int | None = None,
+    rng: RngLike = None,
+) -> dict[int, int]:
+    """Counts of ordered node pairs at each hop distance.
+
+    When ``sources`` is given, that many BFS sources are sampled uniformly at
+    random and the counts are scaled up to the full graph (the estimator used
+    for the larger AS topologies).  Unreachable pairs are excluded.
+    Self-pairs (distance 0) are included, following the paper's convention.
+    """
+    rng = ensure_rng(rng)
+    n = graph.number_of_nodes
+    if n == 0:
+        return {}
+    if sources is None or sources >= n:
+        source_nodes = list(graph.nodes())
+        scale = 1.0
+    else:
+        source_nodes = [int(x) for x in rng.choice(n, size=sources, replace=False)]
+        scale = n / sources
+    histogram: dict[int, int] = {}
+    for source in source_nodes:
+        for distance in bfs_distances(graph, source):
+            if distance < 0:
+                continue
+            histogram[distance] = histogram.get(distance, 0) + 1
+    if scale != 1.0:
+        histogram = {d: int(round(c * scale)) for d, c in histogram.items()}
+    return histogram
+
+
+def distance_distribution(
+    graph: SimpleGraph,
+    *,
+    sources: int | None = None,
+    rng: RngLike = None,
+) -> dict[int, float]:
+    """Normalized distance distribution ``d(x)`` (the paper's PDF plots).
+
+    Normalized over reachable ordered pairs including self-pairs, so the
+    values sum to one for a connected graph.
+    """
+    histogram = distance_histogram(graph, sources=sources, rng=rng)
+    total = sum(histogram.values())
+    if total == 0:
+        return {}
+    return {d: c / total for d, c in sorted(histogram.items())}
+
+
+def mean_distance(
+    graph: SimpleGraph,
+    *,
+    sources: int | None = None,
+    rng: RngLike = None,
+    include_self_pairs: bool = False,
+) -> float:
+    """Average shortest-path distance ``d̄`` over reachable pairs."""
+    histogram = distance_histogram(graph, sources=sources, rng=rng)
+    if not include_self_pairs:
+        histogram = {d: c for d, c in histogram.items() if d > 0}
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    return sum(d * c for d, c in histogram.items()) / total
+
+
+def distance_std(
+    graph: SimpleGraph,
+    *,
+    sources: int | None = None,
+    rng: RngLike = None,
+    include_self_pairs: bool = False,
+) -> float:
+    """Standard deviation ``σ_d`` of the distance distribution."""
+    histogram = distance_histogram(graph, sources=sources, rng=rng)
+    if not include_self_pairs:
+        histogram = {d: c for d, c in histogram.items() if d > 0}
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    mean = sum(d * c for d, c in histogram.items()) / total
+    variance = sum(c * (d - mean) ** 2 for d, c in histogram.items()) / total
+    return math.sqrt(variance)
+
+
+def diameter(graph: SimpleGraph, *, sources: int | None = None, rng: RngLike = None) -> int:
+    """Largest finite hop distance observed (the graph diameter when exact)."""
+    histogram = distance_histogram(graph, sources=sources, rng=rng)
+    return max(histogram, default=0)
+
+
+def eccentricity(graph: SimpleGraph, source: int) -> int:
+    """Largest finite distance from ``source``."""
+    return max((d for d in bfs_distances(graph, source) if d >= 0), default=0)
+
+
+__all__ = [
+    "bfs_distances",
+    "distance_histogram",
+    "distance_distribution",
+    "mean_distance",
+    "distance_std",
+    "diameter",
+    "eccentricity",
+]

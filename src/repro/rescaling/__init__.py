@@ -1,0 +1,9 @@
+"""Rescaling dK-distributions to arbitrary graph sizes (extension of the paper)."""
+
+from repro.rescaling.rescale import (
+    rescale_and_generate,
+    rescale_degree_distribution,
+    rescale_jdd,
+)
+
+__all__ = ["rescale_degree_distribution", "rescale_jdd", "rescale_and_generate"]

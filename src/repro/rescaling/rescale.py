@@ -1,0 +1,193 @@
+"""Rescaling dK-distributions to arbitrary graph sizes (the paper's §6 future work).
+
+The paper generates synthetic graphs of exactly the original size; its
+discussion section lists "rescaling the dK-distributions to arbitrary graph
+sizes" as work in progress.  This module implements that extension for the
+1K and 2K levels:
+
+* :func:`rescale_degree_distribution` resamples a degree sequence of the
+  requested size from the normalized ``P(k)``, then repairs parity so the
+  sequence stays graphical in the configuration-model sense;
+* :func:`rescale_jdd` scales the JDD edge counts to the edge total implied by
+  the new node count while preserving the correlation profile
+  ``P(k1,k2)/(P(k1)P(k2))`` as closely as integer rounding allows, and then
+  repairs the per-degree edge-end totals so they remain divisible by the
+  degree (the consistency condition a JDD must satisfy).
+
+Combined with the pseudograph/matching/targeting generators this yields a
+complete "generate an Internet-like topology of size N" pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.distributions import DegreeDistribution, JointDegreeDistribution
+from repro.exceptions import DistributionError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def rescale_degree_distribution(
+    one_k: DegreeDistribution,
+    new_nodes: int,
+    *,
+    rng: RngLike = None,
+) -> DegreeDistribution:
+    """Resample a degree distribution for ``new_nodes`` nodes from ``one_k``.
+
+    The resulting counts follow a multinomial draw from ``P(k)``; if the
+    implied stub count is odd, one extra node of the most common degree is
+    nudged by one degree class to restore parity.
+    """
+    rng = ensure_rng(rng)
+    if new_nodes <= 0:
+        raise DistributionError("new_nodes must be positive")
+    pmf = one_k.pmf()
+    if not pmf:
+        return DegreeDistribution({})
+    degrees = sorted(pmf)
+    probabilities = np.array([pmf[k] for k in degrees])
+    probabilities = probabilities / probabilities.sum()
+    draws = rng.multinomial(new_nodes, probabilities)
+    counts = {degree: int(count) for degree, count in zip(degrees, draws) if count}
+
+    stub_count = sum(k * c for k, c in counts.items())
+    if stub_count % 2:
+        # move one node from the most populated degree class to an adjacent
+        # degree so the total number of stubs becomes even
+        donor = max(counts, key=lambda k: counts[k])
+        recipient = donor + 1 if donor + 1 in pmf or donor + 1 not in counts else donor - 1
+        if recipient < 0:
+            recipient = donor + 1
+        counts[donor] -= 1
+        if counts[donor] == 0:
+            del counts[donor]
+        counts[recipient] = counts.get(recipient, 0) + 1
+        if sum(k * c for k, c in counts.items()) % 2:
+            # adjacent degree had the same parity (only possible via degree 0);
+            # fall back to dropping one degree-1 stub node
+            counts[1] = counts.get(1, 0) + 1
+    return DegreeDistribution(counts)
+
+
+def _repair_jdd_counts(counts: Counter, rng: np.random.Generator) -> Counter:
+    """Adjust integer JDD counts so every degree's edge-end total is divisible
+    by the degree (the structural consistency condition).
+
+    Each degree class ``k > 1`` is repaired through its ``(1, k)`` edge count:
+    adding or removing customer-stub edges only perturbs the degree-1 class,
+    whose edge-end total is divisible by 1 by construction, so a single pass
+    over the degrees suffices and the repair always terminates.
+    """
+    counts = Counter({k: v for k, v in counts.items() if v > 0})
+    ends: Counter = Counter()
+    for (k1, k2), value in counts.items():
+        ends[k1] += value
+        ends[k2] += value
+
+    def delete_edges(key: tuple[int, int], amount: int) -> None:
+        counts[key] -= amount
+        if counts[key] <= 0:
+            del counts[key]
+        ends[key[0]] -= amount
+        ends[key[1]] -= amount
+
+    for degree in sorted((k for k in ends if k > 1), reverse=True):
+        remainder = ends[degree] % degree
+        if remainder == 0:
+            continue
+        # Preferred repair: delete `remainder` surplus ends through edges whose
+        # other endpoint has a smaller (not yet processed) degree, so already
+        # repaired larger classes stay intact.  Fall back to adding customer
+        # stub edges (1, degree), which only perturbs the always-consistent
+        # degree-1 class.
+        need = remainder
+        for other in sorted(k for k in ends if k < degree):
+            if need == 0:
+                break
+            key = (other, degree)
+            available = counts.get(key, 0)
+            take = min(available, need)
+            if take:
+                delete_edges(key, take)
+                need -= take
+        if need:
+            # after the deletions the surplus of this class is exactly `need`;
+            # complete it to the next multiple with customer stub edges
+            stub_key = (1, degree)
+            missing = degree - need
+            counts[stub_key] += missing
+            ends[degree] += missing
+            ends[1] += missing
+    # final consistency check (degree 1 is always divisible by 1)
+    final_ends: Counter = Counter()
+    for (k1, k2), value in counts.items():
+        final_ends[k1] += value
+        final_ends[k2] += value
+    if any(total % k for k, total in final_ends.items() if k > 0):
+        raise DistributionError("could not repair the rescaled JDD into a consistent state")
+    return counts
+
+
+def rescale_jdd(
+    jdd: JointDegreeDistribution,
+    new_nodes: int,
+    *,
+    rng: RngLike = None,
+) -> JointDegreeDistribution:
+    """Rescale a joint degree distribution to a graph of ``new_nodes`` nodes.
+
+    Edge counts are scaled by the node ratio and stochastically rounded, then
+    repaired so the per-degree edge-end totals remain divisible by the degree.
+    The average degree and the degree-correlation profile are preserved up to
+    integer effects.
+    """
+    rng = ensure_rng(rng)
+    if new_nodes <= 0:
+        raise DistributionError("new_nodes must be positive")
+    old_nodes = jdd.nodes
+    if old_nodes == 0:
+        return JointDegreeDistribution({})
+    ratio = new_nodes / old_nodes
+    scaled: Counter = Counter()
+    for key, count in jdd.counts.items():
+        exact = count * ratio
+        lower = int(np.floor(exact))
+        value = lower + (1 if rng.random() < exact - lower else 0)
+        if value:
+            scaled[key] = value
+    repaired = _repair_jdd_counts(scaled, rng)
+    zero_nodes = int(round(jdd.zero_degree_nodes * ratio))
+    return JointDegreeDistribution(dict(repaired), zero_degree_nodes=zero_nodes)
+
+
+def rescale_and_generate(
+    jdd: JointDegreeDistribution,
+    new_nodes: int,
+    *,
+    rng: RngLike = None,
+    method: str = "pseudograph",
+):
+    """Rescale ``jdd`` to ``new_nodes`` nodes and generate a 2K graph from it.
+
+    ``method`` is ``"pseudograph"`` (fast, may drop a few edges),
+    ``"matching"`` (loop-avoiding) or ``"targeting"`` (exact-as-possible).
+    """
+    from repro.generators.matching import matching_2k
+    from repro.generators.pseudograph import pseudograph_2k
+    from repro.generators.rewiring.targeting import dk_targeting_construct
+
+    rng = ensure_rng(rng)
+    rescaled = rescale_jdd(jdd, new_nodes, rng=rng)
+    if method == "pseudograph":
+        return pseudograph_2k(rescaled, rng=rng)
+    if method == "matching":
+        return matching_2k(rescaled, rng=rng)
+    if method == "targeting":
+        return dk_targeting_construct(rescaled, rng=rng)
+    raise ValueError(f"unknown method {method!r}")
+
+
+__all__ = ["rescale_degree_distribution", "rescale_jdd", "rescale_and_generate"]

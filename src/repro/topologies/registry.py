@@ -1,0 +1,141 @@
+"""Named topology registry.
+
+Benchmarks, examples and the CLI refer to the evaluation topologies by name
+(``"hot"``, ``"skitter_like"``...).  Each entry records the generator, its
+parameters and the role the topology plays in the paper, and produces the
+graph deterministically from a fixed seed so that experiment tables are
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.graph.simple_graph import SimpleGraph
+from repro.topologies.as_level import synthetic_as_topology
+from repro.topologies.hot import synthetic_hot_topology
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A named, reproducible evaluation topology."""
+
+    name: str
+    description: str
+    paper_counterpart: str
+    builder: Callable[..., SimpleGraph]
+    parameters: dict = field(default_factory=dict)
+    seed: int = 20060911  # SIGCOMM'06 began on September 11, 2006
+
+    def build(self, *, seed: int | None = None) -> SimpleGraph:
+        """Construct the topology (deterministic unless ``seed`` overrides)."""
+        return self.builder(rng=self.seed if seed is None else seed, **self.parameters)
+
+
+_REGISTRY: dict[str, TopologySpec] = {}
+
+
+def register(spec: TopologySpec) -> None:
+    """Add a topology to the registry (overwrites an existing name)."""
+    _REGISTRY[spec.name] = spec
+
+
+def get_topology_spec(name: str) -> TopologySpec:
+    """Look up a registered topology by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown topology {name!r}; known topologies: {known}") from None
+
+
+def build_topology(name: str, *, seed: int | None = None) -> SimpleGraph:
+    """Build a registered topology by name."""
+    return get_topology_spec(name).build(seed=seed)
+
+
+def available_topologies() -> list[str]:
+    """Sorted list of registered topology names."""
+    return sorted(_REGISTRY)
+
+
+register(
+    TopologySpec(
+        name="hot",
+        description="HOT-like router-level topology (~939 nodes, almost a tree, "
+        "high-degree gateways at the periphery)",
+        paper_counterpart="HOT graph of Li et al. [19] (939 nodes / 988 edges)",
+        builder=synthetic_hot_topology,
+        parameters={"target_nodes": 939},
+    )
+)
+
+register(
+    TopologySpec(
+        name="hot_small",
+        description="Small HOT-like topology for fast tests (~200 nodes)",
+        paper_counterpart="scaled-down HOT graph",
+        builder=synthetic_hot_topology,
+        parameters={"target_nodes": 200, "core_size": 6, "hosts_range": (2, 30)},
+    )
+)
+
+register(
+    TopologySpec(
+        name="skitter_like",
+        description="Skitter-like AS topology at benchmark scale (~2000 nodes)",
+        paper_counterpart="CAIDA skitter AS topology, March 2004 (9204 nodes / 28959 edges)",
+        builder=synthetic_as_topology,
+        parameters={"nodes": 2000},
+    )
+)
+
+register(
+    TopologySpec(
+        name="skitter_like_small",
+        description="Small skitter-like AS topology for fast tests (~400 nodes)",
+        paper_counterpart="scaled-down skitter AS topology",
+        builder=synthetic_as_topology,
+        parameters={"nodes": 400},
+    )
+)
+
+register(
+    TopologySpec(
+        name="skitter_like_full",
+        description="Skitter-like AS topology at the paper's scale (9204 nodes)",
+        paper_counterpart="CAIDA skitter AS topology, March 2004 (9204 nodes / 28959 edges)",
+        builder=synthetic_as_topology,
+        parameters={"nodes": 9204},
+    )
+)
+
+register(
+    TopologySpec(
+        name="whois_like",
+        description="WHOIS-like AS topology: denser and more clustered than skitter",
+        paper_counterpart="RIPE WHOIS AS topology, March 2004",
+        builder=synthetic_as_topology,
+        parameters={"nodes": 2000, "attachment_edges": 5, "triad_probability": 0.7},
+    )
+)
+
+register(
+    TopologySpec(
+        name="bgp_like",
+        description="BGP-like AS topology: sparser view of the AS graph",
+        paper_counterpart="RouteViews BGP AS topology, March 2004",
+        builder=synthetic_as_topology,
+        parameters={"nodes": 2000, "attachment_edges": 2, "triad_probability": 0.45},
+    )
+)
+
+
+__all__ = [
+    "TopologySpec",
+    "register",
+    "get_topology_spec",
+    "build_topology",
+    "available_topologies",
+]

@@ -1,0 +1,37 @@
+"""Small argument-validation helpers used across the library."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require_positive(value: Any, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: Any, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+def require_in(value: Any, options: tuple, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is one of ``options``."""
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
+
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_probability",
+    "require_in",
+]

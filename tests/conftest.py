@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.simple_graph import SimpleGraph
+from repro.topologies.as_level import synthetic_as_topology
+from repro.topologies.hot import synthetic_hot_topology
+
+
+def build_graph(edges, n=None):
+    """Build a SimpleGraph from an edge list, growing nodes as needed."""
+    graph = SimpleGraph.from_edges(edges)
+    if n is not None:
+        while graph.number_of_nodes < n:
+            graph.add_node()
+    return graph
+
+
+@pytest.fixture
+def triangle_graph():
+    """A single triangle."""
+    return build_graph([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path_graph():
+    """A path on five nodes: 0-1-2-3-4."""
+    return build_graph([(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def star_graph():
+    """A star: node 0 connected to 1..5."""
+    return build_graph([(0, i) for i in range(1, 6)])
+
+
+@pytest.fixture
+def square_with_diagonal():
+    """A 4-cycle with one chord: two triangles sharing an edge."""
+    return build_graph([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+
+
+@pytest.fixture
+def small_mixed_graph():
+    """The size-4 worked example shape of the paper: a triangle plus a pendant."""
+    return build_graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+@pytest.fixture
+def disconnected_graph():
+    """Two components: a triangle and a single edge, plus one isolated node."""
+    return build_graph([(0, 1), (1, 2), (0, 2), (3, 4)], n=6)
+
+
+@pytest.fixture(scope="session")
+def random_graph():
+    """A moderately sized random graph (Erdős–Rényi-ish) for metric cross-checks."""
+    rng = np.random.default_rng(42)
+    graph = SimpleGraph(60)
+    while graph.number_of_edges < 150:
+        u = int(rng.integers(60))
+        v = int(rng.integers(60))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def hot_small():
+    """A small HOT-like router topology (fast to analyze)."""
+    return synthetic_hot_topology(150, core_size=6, hosts_range=(2, 20), rng=7)
+
+
+@pytest.fixture(scope="session")
+def as_small():
+    """A small skitter-like AS topology (fast to analyze)."""
+    return synthetic_as_topology(300, rng=7)

@@ -1,0 +1,63 @@
+"""Tests for connected-component utilities."""
+
+import networkx as nx
+
+from repro.graph.components import (
+    component_size_distribution,
+    connected_components,
+    giant_component,
+    is_connected,
+    largest_component_nodes,
+    number_of_components,
+)
+from repro.graph.conversion import to_networkx
+from repro.graph.simple_graph import SimpleGraph
+
+
+def test_single_component(triangle_graph):
+    assert number_of_components(triangle_graph) == 1
+    assert is_connected(triangle_graph)
+
+
+def test_disconnected_counts(disconnected_graph):
+    # triangle + edge + isolated node = 3 components
+    assert number_of_components(disconnected_graph) == 3
+    assert not is_connected(disconnected_graph)
+
+
+def test_components_partition_nodes(disconnected_graph):
+    components = list(connected_components(disconnected_graph))
+    all_nodes = sorted(node for component in components for node in component)
+    assert all_nodes == list(range(disconnected_graph.number_of_nodes))
+
+
+def test_largest_component_nodes(disconnected_graph):
+    assert sorted(largest_component_nodes(disconnected_graph)) == [0, 1, 2]
+
+
+def test_giant_component_extraction(disconnected_graph):
+    gcc = giant_component(disconnected_graph)
+    assert gcc.number_of_nodes == 3
+    assert gcc.number_of_edges == 3
+
+
+def test_giant_component_matches_networkx(random_graph):
+    gcc = giant_component(random_graph)
+    nx_gcc_nodes = max(nx.connected_components(to_networkx(random_graph)), key=len)
+    assert gcc.number_of_nodes == len(nx_gcc_nodes)
+
+
+def test_component_size_distribution(disconnected_graph):
+    sizes = component_size_distribution(disconnected_graph)
+    assert sizes == {3: 1, 2: 1, 1: 1}
+
+
+def test_empty_graph_is_not_connected():
+    assert not is_connected(SimpleGraph())
+    assert number_of_components(SimpleGraph()) == 0
+
+
+def test_isolated_nodes_are_components():
+    graph = SimpleGraph(4)
+    assert number_of_components(graph) == 4
+    assert giant_component(graph).number_of_nodes == 1

@@ -1,0 +1,68 @@
+"""Tests for counting possible initial dK-preserving rewirings (Table 5)."""
+
+import pytest
+
+from repro.generators.rewiring.counting import (
+    count_0k_rewirings,
+    count_dk_rewirings,
+    rewiring_count_table,
+)
+from repro.graph.simple_graph import SimpleGraph
+
+
+def test_count_0k_formula(square_with_diagonal):
+    # m * (C(n,2) - m) = 5 * (6 - 5)
+    assert count_0k_rewirings(square_with_diagonal) == 5
+
+
+def test_count_0k_complete_graph_has_no_moves(triangle_graph):
+    assert count_0k_rewirings(triangle_graph) == 0
+
+
+def test_counts_decrease_with_d(hot_small):
+    table = rewiring_count_table(hot_small, ds=(0, 1, 2, 3))
+    totals = [table[d].total for d in (0, 1, 2, 3)]
+    # the dK spaces shrink (weakly) as d grows -- Table 5's qualitative shape
+    assert totals[0] > totals[1] >= totals[2] >= totals[3]
+    # the isomorphism filter can only reduce the counts
+    for d in (1, 2, 3):
+        assert table[d].non_isomorphic <= table[d].total
+
+
+def test_count_1k_path():
+    # path 0-1-2-3: edge pairs and pairings that produce no loops/multi-edges
+    path = SimpleGraph(4, edges=[(0, 1), (1, 2), (2, 3)])
+    counts = count_dk_rewirings(path, 1)
+    # only the pair {(0,1), (2,3)} can be rewired, and only via the pairing
+    # (0,2)+(1,3); the other pairing would recreate the existing edge (1,2)
+    assert counts.total == 1
+    # that swap exchanges the two degree-1 path ends, so it leads to an
+    # isomorphic graph and is filtered by the non-isomorphic count
+    assert counts.non_isomorphic == 0
+
+
+def test_count_2k_requires_matching_degrees():
+    # star + isolated edge: no degree-preserving swap can keep the JDD intact
+    # while changing the graph, except swaps of the two leaf-classes
+    graph = SimpleGraph(6, edges=[(0, 1), (0, 2), (0, 3), (4, 5)])
+    counts_1k = count_dk_rewirings(graph, 1)
+    counts_2k = count_dk_rewirings(graph, 2)
+    assert counts_2k.total <= counts_1k.total
+
+
+def test_count_3k_subset_of_2k(square_with_diagonal, hot_small):
+    for graph in (square_with_diagonal, hot_small):
+        c2 = count_dk_rewirings(graph, 2)
+        c3 = count_dk_rewirings(graph, 3)
+        assert c3.total <= c2.total
+
+
+def test_count_invalid_d(triangle_graph):
+    with pytest.raises(ValueError):
+        count_dk_rewirings(triangle_graph, 5)
+
+
+def test_counting_does_not_mutate_graph(hot_small):
+    before = sorted(hot_small.edges())
+    count_dk_rewirings(hot_small, 3)
+    assert sorted(hot_small.edges()) == before

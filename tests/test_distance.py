@@ -1,0 +1,83 @@
+"""Tests for the dK distances D_d."""
+
+import pytest
+
+from repro.core.distance import (
+    distance_0k,
+    distance_1k,
+    distance_2k,
+    distance_3k,
+    dk_distance,
+    graph_dk_distance,
+)
+from repro.core.distributions import (
+    AverageDegree,
+    DegreeDistribution,
+    JointDegreeDistribution,
+)
+from repro.core.extraction import dk_distribution, three_k_distribution
+from repro.graph.simple_graph import SimpleGraph
+
+
+def test_distance_to_self_is_zero(square_with_diagonal):
+    for d in range(4):
+        assert graph_dk_distance(square_with_diagonal, square_with_diagonal, d) == 0.0
+
+
+def test_distance_0k():
+    a = AverageDegree(nodes=10, edges=12)
+    b = AverageDegree(nodes=10, edges=15)
+    assert distance_0k(a, b) == 9.0
+
+
+def test_distance_1k():
+    a = DegreeDistribution({1: 3, 2: 2})
+    b = DegreeDistribution({1: 1, 3: 2})
+    # differences: degree 1 -> 2, degree 2 -> 2, degree 3 -> 2
+    assert distance_1k(a, b) == 4 + 4 + 4
+
+
+def test_distance_2k():
+    a = JointDegreeDistribution({(2, 2): 3})
+    b = JointDegreeDistribution({(2, 2): 1, (1, 2): 2, (1, 1): 1})
+    assert distance_2k(a, b) == (3 - 1) ** 2 + 2**2 + 1
+
+
+def test_distance_3k(triangle_graph, path_graph):
+    a = three_k_distribution(triangle_graph)
+    b = three_k_distribution(path_graph)
+    # triangle: one (2,2,2) triangle; path: wedges only
+    expected = 1 + sum(v**2 for v in b.wedges.values())
+    assert distance_3k(a, b) == expected
+
+
+def test_distance_symmetry(square_with_diagonal, small_mixed_graph):
+    for d in range(4):
+        forward = graph_dk_distance(square_with_diagonal, small_mixed_graph, d)
+        backward = graph_dk_distance(small_mixed_graph, square_with_diagonal, d)
+        assert forward == backward
+
+
+def test_distance_non_negative(as_small, hot_small):
+    for d in range(4):
+        assert graph_dk_distance(as_small, hot_small, d) >= 0.0
+
+
+def test_dk_distance_type_dispatch(square_with_diagonal):
+    for d in range(4):
+        a = dk_distribution(square_with_diagonal, d)
+        assert dk_distance(a, a) == 0.0
+
+
+def test_dk_distance_type_mismatch_raises():
+    with pytest.raises(TypeError):
+        dk_distance(AverageDegree(3, 2), DegreeDistribution({1: 2}))
+
+
+def test_distance_detects_rewiring():
+    """Moving one edge changes D_1 and D_2 but not D_0."""
+    a = SimpleGraph(4, edges=[(0, 1), (1, 2), (2, 3)])
+    b = SimpleGraph(4, edges=[(0, 1), (1, 2), (1, 3)])
+    assert graph_dk_distance(a, b, 0) == 0.0
+    assert graph_dk_distance(a, b, 1) > 0.0
+    assert graph_dk_distance(a, b, 2) > 0.0

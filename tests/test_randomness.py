@@ -1,0 +1,53 @@
+"""Tests for the dk_random_graph front-end (method dispatch and validation)."""
+
+import pytest
+
+from repro.core.distance import graph_dk_distance
+from repro.core.randomness import dk_random_graph
+
+
+def test_invalid_d_rejected(hot_small):
+    with pytest.raises(ValueError):
+        dk_random_graph(hot_small, 4)
+
+
+def test_unknown_method_rejected(hot_small):
+    with pytest.raises(ValueError):
+        dk_random_graph(hot_small, 2, method="quantum")
+
+
+def test_method_level_restrictions(hot_small):
+    with pytest.raises(ValueError):
+        dk_random_graph(hot_small, 3, method="stochastic")
+    with pytest.raises(ValueError):
+        dk_random_graph(hot_small, 0, method="pseudograph")
+    with pytest.raises(ValueError):
+        dk_random_graph(hot_small, 3, method="matching")
+    with pytest.raises(ValueError):
+        dk_random_graph(hot_small, 1, method="targeting")
+
+
+def test_rewiring_method_preserves_every_level(hot_small):
+    for d in range(4):
+        generated = dk_random_graph(hot_small, d, method="rewiring", rng=d)
+        assert graph_dk_distance(hot_small, generated, d) == 0.0
+
+
+def test_seed_determinism(hot_small):
+    a = dk_random_graph(hot_small, 2, rng=123)
+    b = dk_random_graph(hot_small, 2, rng=123)
+    assert a == b
+
+
+def test_alternative_methods_return_graphs(hot_small):
+    for method, d in (("stochastic", 1), ("pseudograph", 2), ("matching", 2), ("targeting", 2)):
+        generated = dk_random_graph(hot_small, d, method=method, rng=1)
+        assert generated.number_of_nodes > 0
+        assert generated.number_of_edges > 0
+
+
+def test_public_api_surface():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name

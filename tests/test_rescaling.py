@@ -1,0 +1,71 @@
+"""Tests for the dK-distribution rescaling extension."""
+
+import pytest
+
+from repro.core.extraction import degree_distribution, joint_degree_distribution
+from repro.exceptions import DistributionError
+from repro.rescaling.rescale import (
+    rescale_and_generate,
+    rescale_degree_distribution,
+    rescale_jdd,
+)
+
+
+def test_rescale_degree_distribution_size(as_small):
+    one_k = degree_distribution(as_small)
+    bigger = rescale_degree_distribution(one_k, 2 * one_k.nodes, rng=1)
+    assert abs(bigger.nodes - 2 * one_k.nodes) <= 1
+    # parity is repaired so the rescaled sequence is realizable
+    assert bigger.stub_count % 2 == 0
+    # the shape is preserved: average degree stays close
+    assert bigger.average_degree() == pytest.approx(one_k.average_degree(), rel=0.15)
+
+
+def test_rescale_degree_distribution_down(as_small):
+    one_k = degree_distribution(as_small)
+    smaller = rescale_degree_distribution(one_k, one_k.nodes // 3, rng=2)
+    assert smaller.stub_count % 2 == 0
+    assert smaller.average_degree() == pytest.approx(one_k.average_degree(), rel=0.3)
+
+
+def test_rescale_degree_distribution_validation(as_small):
+    with pytest.raises(DistributionError):
+        rescale_degree_distribution(degree_distribution(as_small), 0)
+
+
+def test_rescale_jdd_preserves_shape(as_small):
+    jdd = joint_degree_distribution(as_small)
+    doubled = rescale_jdd(jdd, 2 * jdd.nodes, rng=3)
+    assert doubled.nodes == pytest.approx(2 * jdd.nodes, rel=0.1)
+    assert doubled.edges == pytest.approx(2 * jdd.edges, rel=0.1)
+    assert doubled.average_degree() == pytest.approx(jdd.average_degree(), rel=0.15)
+    # correlation structure is preserved: assortativity stays close
+    assert doubled.assortativity() == pytest.approx(jdd.assortativity(), abs=0.1)
+
+
+def test_rescale_jdd_down(as_small):
+    jdd = joint_degree_distribution(as_small)
+    smaller = rescale_jdd(jdd, int(0.6 * jdd.nodes), rng=4)
+    assert 0 < smaller.edges < jdd.edges
+    # integer repair of the hub classes perturbs the density a little, but the
+    # rescaled JDD stays recognisably the same network family
+    assert smaller.average_degree() == pytest.approx(jdd.average_degree(), rel=0.35)
+
+
+def test_rescale_jdd_validation(hot_small):
+    with pytest.raises(DistributionError):
+        rescale_jdd(joint_degree_distribution(hot_small), 0)
+
+
+def test_rescale_and_generate(as_small):
+    # scaling *up* is the well-behaved direction: every degree class keeps at
+    # least as many members as before, so the generated graph lands close to
+    # the requested size and density
+    jdd = joint_degree_distribution(as_small)
+    target_nodes = 2 * jdd.nodes
+    for method in ("pseudograph", "matching"):
+        graph = rescale_and_generate(jdd, target_nodes, rng=5, method=method)
+        assert graph.number_of_nodes == pytest.approx(target_nodes, rel=0.15)
+        assert graph.average_degree() == pytest.approx(as_small.average_degree(), rel=0.3)
+    with pytest.raises(ValueError):
+        rescale_and_generate(jdd, target_nodes, method="unknown")

@@ -1,0 +1,132 @@
+"""Tests for the elementary rewiring moves and their sampling index."""
+
+import numpy as np
+import pytest
+
+from repro.core.extraction import joint_degree_distribution
+from repro.generators.rewiring.swaps import (
+    EdgeEndIndex,
+    Swap,
+    double_swap_is_valid,
+    jdd_delta_of_swap,
+    make_double_swap,
+    propose_0k_move,
+    propose_1k_swap,
+    propose_2k_swap,
+)
+from repro.graph.simple_graph import SimpleGraph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_swap_apply_and_revert(path_graph):
+    swap = Swap(removals=((0, 1),), additions=((0, 4),))
+    swap.apply(path_graph)
+    assert path_graph.has_edge(0, 4)
+    assert not path_graph.has_edge(0, 1)
+    swap.revert(path_graph)
+    assert path_graph.has_edge(0, 1)
+    assert not path_graph.has_edge(0, 4)
+
+
+def test_double_swap_validity(path_graph):
+    # edges (0,1) and (3,2): swapping to (0,2),(3,1) is valid on the path
+    assert double_swap_is_valid(path_graph, 0, 1, 3, 2)
+    # same edge twice is invalid
+    assert not double_swap_is_valid(path_graph, 0, 1, 0, 1)
+    # swapping to (0,3),(2,1) would recreate the existing edge (1,2) -> invalid
+    assert not double_swap_is_valid(path_graph, 0, 1, 2, 3)
+    # swap creating a self-loop is invalid (shared endpoint)
+    assert not double_swap_is_valid(path_graph, 0, 1, 1, 2)
+
+
+def test_make_double_swap_canonical():
+    swap = make_double_swap(3, 1, 0, 2)
+    assert set(swap.removals) == {(1, 3), (0, 2)}
+    assert set(swap.additions) == {(2, 3), (0, 1)}
+
+
+def test_propose_0k_move_preserves_edge_count(square_with_diagonal, rng):
+    graph = square_with_diagonal.copy()
+    moves = 0
+    for _ in range(200):
+        move = propose_0k_move(graph, rng)
+        if move is None:
+            continue
+        move.apply(graph)
+        moves += 1
+    assert moves > 0
+    assert graph.number_of_edges == square_with_diagonal.number_of_edges
+
+
+def test_propose_1k_swap_preserves_degrees(as_small, rng):
+    graph = as_small.copy()
+    before = graph.degrees()
+    applied = 0
+    for _ in range(500):
+        swap = propose_1k_swap(graph, rng)
+        if swap is None:
+            continue
+        swap.apply(graph)
+        applied += 1
+    assert applied > 100
+    assert graph.degrees() == before
+
+
+def test_propose_2k_swap_preserves_jdd(as_small, rng):
+    graph = as_small.copy()
+    index = EdgeEndIndex(graph)
+    target = joint_degree_distribution(graph)
+    applied = 0
+    for _ in range(500):
+        swap = propose_2k_swap(graph, index, rng)
+        if swap is None:
+            continue
+        swap.apply(graph)
+        index.apply_swap(swap)
+        applied += 1
+    assert applied > 50
+    assert joint_degree_distribution(graph) == target
+
+
+def test_jdd_delta_of_swap_matches_recount(as_small, rng):
+    graph = as_small.copy()
+    degrees = graph.degrees()
+    for _ in range(50):
+        swap = propose_1k_swap(graph, rng)
+        if swap is None:
+            continue
+        before = joint_degree_distribution(graph).counts
+        delta = jdd_delta_of_swap(degrees, swap)
+        swap.apply(graph)
+        after = joint_degree_distribution(graph).counts
+        for key in set(before) | set(after) | set(delta):
+            assert after.get(key, 0) - before.get(key, 0) == delta.get(key, 0)
+
+
+def test_edge_end_index_membership(square_with_diagonal, rng):
+    index = EdgeEndIndex(square_with_diagonal)
+    # degree-3 ends: nodes 0 and 2 appear as heads of their incident edges
+    end = index.random_end_with_degree(3, rng)
+    assert end is not None
+    assert square_with_diagonal.degree(end[1]) == 3
+    assert index.random_end_with_degree(17, rng) is None
+
+
+def test_edge_end_index_updates(square_with_diagonal, rng):
+    graph = square_with_diagonal.copy()
+    index = EdgeEndIndex(graph)
+    swap = make_double_swap(1, 0, 3, 2)
+    if double_swap_is_valid(graph, 1, 0, 3, 2):
+        swap.apply(graph)
+        index.apply_swap(swap)
+        index.revert_swap(swap)
+        swap.revert(graph)
+    # after apply+revert the index still samples only existing edges
+    for _ in range(20):
+        end = index.random_end_with_degree(2, rng)
+        assert end is not None
+        assert graph.has_edge(*end)

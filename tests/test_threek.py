@@ -1,0 +1,94 @@
+"""Tests for the incremental 3K bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.generators.rewiring.swaps import EdgeEndIndex, propose_2k_swap
+from repro.generators.threek import (
+    ThreeKDelta,
+    ThreeKTracker,
+    add_edge_delta,
+    remove_edge_delta,
+)
+from repro.graph.subgraphs import triangle_degree_counts, wedge_degree_counts
+
+
+def test_remove_edge_delta_on_triangle(triangle_graph):
+    degrees = triangle_graph.degrees()
+    delta = remove_edge_delta(triangle_graph, degrees, 0, 1)
+    assert delta.triangles == {(2, 2, 2): -1}
+    assert delta.wedges == {(2, 2, 2): 1}
+    assert delta.node_triangles == {0: -1, 1: -1, 2: -1}
+    assert not triangle_graph.has_edge(0, 1)
+
+
+def test_add_edge_delta_closes_wedge(path_graph):
+    degrees = path_graph.degrees()
+    delta = add_edge_delta(path_graph, degrees, 0, 2)
+    # closing 0-1-2 turns that wedge into a triangle and creates new wedges
+    assert sum(delta.triangles.values()) == 1
+    assert path_graph.has_edge(0, 2)
+
+
+def test_remove_missing_edge_raises(path_graph):
+    with pytest.raises(GraphError):
+        remove_edge_delta(path_graph, path_graph.degrees(), 0, 4)
+
+
+def test_add_existing_edge_raises(path_graph):
+    with pytest.raises(GraphError):
+        add_edge_delta(path_graph, path_graph.degrees(), 0, 1)
+
+
+def test_delta_is_zero_helper():
+    assert ThreeKDelta().is_zero()
+    delta = ThreeKDelta()
+    delta.wedges[(1, 2, 3)] += 1
+    assert not delta.is_zero()
+    assert delta.negate().wedges[(1, 2, 3)] == -1
+
+
+def test_toggle_deltas_match_full_recount(as_small):
+    """Applying random 2K swaps, the tracker's incremental counts always equal
+    a from-scratch recount of the wedge and triangle distributions."""
+    rng = np.random.default_rng(3)
+    graph = as_small.copy()
+    tracker = ThreeKTracker(graph)
+    index = EdgeEndIndex(graph)
+    applied = 0
+    for _ in range(300):
+        swap = propose_2k_swap(graph, index, rng)
+        if swap is None:
+            continue
+        delta = tracker.apply_edges(graph, list(swap.removals), list(swap.additions))
+        if applied % 2 == 0:
+            tracker.commit(delta)
+            index.apply_swap(swap)
+        else:
+            tracker.revert_edges(graph, list(swap.removals), list(swap.additions))
+        applied += 1
+    assert applied > 50
+    assert tracker.wedges == wedge_degree_counts(graph)
+    assert tracker.triangles == triangle_degree_counts(graph)
+
+
+def test_revert_restores_graph(square_with_diagonal):
+    tracker = ThreeKTracker(square_with_diagonal)
+    before_edges = sorted(square_with_diagonal.edges())
+    delta = tracker.apply_edges(square_with_diagonal, [(0, 1)], [(1, 3)])
+    tracker.revert_edges(square_with_diagonal, [(0, 1)], [(1, 3)])
+    assert sorted(square_with_diagonal.edges()) == before_edges
+    # the un-committed tracker still matches the (restored) graph
+    assert tracker.wedges == wedge_degree_counts(square_with_diagonal)
+    assert tracker.triangles == triangle_degree_counts(square_with_diagonal)
+
+
+def test_node_triangle_tracking(square_with_diagonal):
+    tracker = ThreeKTracker(square_with_diagonal)
+    assert tracker.node_triangles == [2, 1, 2, 1]
+    delta = tracker.apply_edges(square_with_diagonal, [(0, 2)], [(1, 3)])
+    tracker.commit(delta)
+    # removing the diagonal destroys both original triangles, but the new
+    # diagonal (1,3) closes two fresh ones: (0,1,3) and (1,2,3)
+    assert tracker.node_triangles == [1, 2, 1, 2]
