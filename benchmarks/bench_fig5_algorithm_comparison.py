@@ -6,6 +6,10 @@
 
 Paper shape: all algorithms produce consistent curves except the stochastic
 construction, which deviates visibly.
+
+The per-method graph families are produced by the Experiment pipeline
+(``keep_graphs=True``): one spec declares the whole methods × d grid, and
+unsupported (method, d) combinations are skipped automatically.
 """
 
 from __future__ import annotations
@@ -16,26 +20,32 @@ from repro.analysis.figures import (
     series_l1_difference,
 )
 from repro.analysis.tables import series_table
-from repro.core.randomness import dk_random_graph
+from repro.experiment import ExperimentSpec, run_experiment
 from benchmarks._common import GENERATION_SEED, run_once
 
-
-def _build_2k_family(graph):
-    return {
-        method: dk_random_graph(graph, 2, method=method, rng=GENERATION_SEED)
-        for method in ("stochastic", "pseudograph", "matching", "rewiring", "targeting")
-    }
+ALL_METHODS = ("stochastic", "pseudograph", "matching", "rewiring", "targeting")
 
 
-def _build_3k_family(graph):
-    return {
-        method: dk_random_graph(graph, 3, method=method, rng=GENERATION_SEED)
-        for method in ("rewiring", "targeting")
-    }
+def _build_families(graph, d_levels):
+    """Generate one graph per (method, d) cell; returns {d: {method: graph}}."""
+    spec = ExperimentSpec(
+        topologies=(graph,),
+        methods=ALL_METHODS,
+        d_levels=d_levels,
+        replicates=1,
+        seed=GENERATION_SEED,
+        collect_metrics=False,
+        keep_graphs=True,
+    )
+    result = run_experiment(spec)
+    families: dict[int, dict[str, object]] = {d: {} for d in d_levels}
+    for record in result.records:
+        families[record.d][record.method] = record.graph
+    return families
 
 
 def test_fig5a_clustering_per_2k_algorithm(benchmark, skitter_graph):
-    family = run_once(benchmark, _build_2k_family, skitter_graph)
+    family = run_once(benchmark, _build_families, skitter_graph, (2,))[2]
     family["original"] = skitter_graph
     series = clustering_series(family)
     print()
@@ -49,12 +59,8 @@ def test_fig5a_clustering_per_2k_algorithm(benchmark, skitter_graph):
 
 
 def test_fig5b_5c_distance_distributions_on_hot(benchmark, hot_graph):
-    def build(graph):
-        two_k = _build_2k_family(graph)
-        three_k = _build_3k_family(graph)
-        return two_k, three_k
-
-    two_k, three_k = run_once(benchmark, build, hot_graph)
+    families = run_once(benchmark, _build_families, hot_graph, (2, 3))
+    two_k, three_k = families[2], families[3]
     two_k["original"] = hot_graph
     three_k["original"] = hot_graph
     series_2k = distance_distribution_series(two_k)

@@ -4,8 +4,9 @@ Runs the complete dK-series workflow of the paper on a small HOT-like
 router topology:
 
 1. extract the 0K..3K distributions,
-2. generate dK-random graphs for d = 0..3 with dK-preserving rewiring,
-3. compare the scalar metrics of each against the original.
+2. declare an Experiment — dK-preserving rewiring at d = 0..3 — and run it
+   over two worker processes,
+3. compare the scalar metrics of each dK-random graph against the original.
 
 Usage::
 
@@ -14,8 +15,9 @@ Usage::
 
 from __future__ import annotations
 
-from repro import DKSeries, dk_random_graph, graph_dk_distance, summarize
-from repro.analysis.tables import scalar_metrics_table
+from repro import DKSeries, ExperimentSpec
+from repro.analysis.comparison import comparison_from_experiment
+from repro.analysis.tables import experiment_table, scalar_metrics_table
 from repro.topologies import build_topology
 
 
@@ -29,15 +31,34 @@ def main() -> None:
     for key, value in series.summary().items():
         print(f"  {key:28s} {value:.4g}")
 
-    # 2. generation + 3. comparison
-    columns = {"original": summarize(original, compute_spectrum=False)}
-    for d in range(4):
-        generated = dk_random_graph(original, d, rng=d)
-        assert graph_dk_distance(original, generated, d) == 0.0, "P_d must be preserved"
-        columns[f"{d}K-random"] = summarize(generated, compute_spectrum=False)
+    # 2. generation: one declarative spec covers the whole d = 0..3 grid
+    spec = ExperimentSpec(
+        topologies=("hot_small",),
+        methods=("rewiring",),
+        d_levels=(0, 1, 2, 3),
+        replicates=1,
+        seed=1,
+        include_original=True,
+        dk_distances=True,
+    )
+    result = spec.run(workers=2)
+    for record in result.records:
+        if record.method != "original":
+            assert record.dk_distance == 0.0, "P_d must be preserved"
 
+    # 3. comparison: fold the records into the paper-style tables
     print()
-    print(scalar_metrics_table(columns, title="dK-random graphs vs the original"))
+    print(experiment_table(result, title="Experiment grid (rewiring at d = 0..3)"))
+    comparison = comparison_from_experiment(
+        result, label_by=lambda record: f"{record.d}K-random"
+    )
+    print()
+    print(
+        scalar_metrics_table(
+            comparison.as_columns(original_label="original"),
+            title="dK-random graphs vs the original",
+        )
+    )
     print(
         "\nNote how the metrics converge to the original's column as d grows -- "
         "the paper's central result."

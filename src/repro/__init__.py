@@ -8,6 +8,14 @@ targeting), dK-space explorations, a topology-metric suite, synthetic
 evaluation topologies, and the analysis harness that regenerates the paper's
 tables and figures.
 
+The construction algorithms live in a plugin registry
+(:mod:`repro.generators.registry`): ``available_generators()`` lists them,
+``register_generator`` adds new families, and every build can return a
+:class:`GenerationResult` provenance envelope.  Batch evaluation is
+declarative: an :class:`ExperimentSpec` names topologies × methods ×
+d-levels × replicates and runs them — in parallel worker processes if asked
+— into structured, JSON-serializable results.
+
 Quickstart::
 
     from repro import SimpleGraph, dk_distribution, dk_random_graph, summarize
@@ -17,6 +25,20 @@ Quickstart::
     jdd = dk_distribution(original, 2)          # analyze
     random_2k = dk_random_graph(original, 2)    # generate
     print(summarize(random_2k))                 # compare
+
+Batch pipeline::
+
+    from repro import ExperimentSpec
+
+    spec = ExperimentSpec(
+        topologies=("hot", "skitter_like"),
+        methods=("rewiring", "pseudograph", "matching"),
+        d_levels=(2,),
+        replicates=3,
+        include_original=True,
+    )
+    result = spec.run(workers=4)
+    print(result.to_json())
 """
 
 from repro.core import (
@@ -30,10 +52,23 @@ from repro.core import (
     dk_random_graph,
     graph_dk_distance,
 )
+from repro.experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    RunRecord,
+    run_experiment,
+)
+from repro.generators.registry import (
+    GenerationResult,
+    GeneratorSpec,
+    available_generators,
+    get_generator,
+    register_generator,
+)
 from repro.graph import SimpleGraph, from_networkx, giant_component, to_networkx
 from repro.metrics import ScalarMetrics, summarize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SimpleGraph",
@@ -49,6 +84,15 @@ __all__ = [
     "dk_distance",
     "graph_dk_distance",
     "dk_random_graph",
+    "GenerationResult",
+    "GeneratorSpec",
+    "available_generators",
+    "get_generator",
+    "register_generator",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "RunRecord",
+    "run_experiment",
     "ScalarMetrics",
     "summarize",
     "__version__",

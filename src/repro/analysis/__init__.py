@@ -5,6 +5,7 @@ from repro.analysis.comparison import (
     compare_2k_algorithms,
     compare_3k_algorithms,
     compare_generators,
+    comparison_from_experiment,
     standard_2k_generators,
     standard_3k_generators,
 )
@@ -22,6 +23,7 @@ from repro.analysis.figures import (
 )
 from repro.analysis.tables import (
     SCALAR_ROWS,
+    experiment_table,
     format_value,
     render_table,
     scalar_metrics_table,
@@ -33,6 +35,7 @@ __all__ = [
     "compare_generators",
     "compare_2k_algorithms",
     "compare_3k_algorithms",
+    "comparison_from_experiment",
     "standard_2k_generators",
     "standard_3k_generators",
     "ConvergenceStudy",
@@ -44,6 +47,7 @@ __all__ = [
     "distance_distribution_series",
     "series_l1_difference",
     "SCALAR_ROWS",
+    "experiment_table",
     "format_value",
     "render_table",
     "scalar_metrics_table",

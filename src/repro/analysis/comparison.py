@@ -11,12 +11,16 @@ raised by callers).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.core.randomness import dk_random_graph
+from repro.exceptions import ExperimentError
 from repro.graph.simple_graph import SimpleGraph
 from repro.metrics.summary import ScalarMetrics, average_summaries, summarize
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiment import ExperimentResult, RunRecord
 
 GraphFactory = Callable[..., SimpleGraph]
 
@@ -131,6 +135,75 @@ def compare_3k_algorithms(
     )
 
 
+def comparison_from_experiment(
+    result: "ExperimentResult",
+    *,
+    topology: str | None = None,
+    d: int | None = None,
+    label_by: Callable[["RunRecord"], str] | None = None,
+) -> AlgorithmComparison:
+    """Build an :class:`AlgorithmComparison` from Experiment pipeline results.
+
+    The experiment must have been run with ``include_original=True`` and
+    ``collect_metrics=True`` (the defaults provide the latter); replicates of
+    each method are averaged exactly like :func:`compare_generators` does.
+
+    Parameters
+    ----------
+    result:
+        An executed :class:`~repro.experiment.ExperimentResult`.
+    topology:
+        Which topology's records to compare (optional when the experiment
+        covered a single topology).
+    d:
+        Restrict to one dK level (optional when unambiguous).
+    label_by:
+        Column-label function of a record; the default uses the method name,
+        suffixed with the dK level when several levels are present.
+    """
+    from repro.experiment import ORIGINAL_METHOD
+
+    labels = result.topology_labels()
+    if topology is None:
+        if len(labels) != 1:
+            raise ExperimentError(
+                f"experiment covers several topologies ({', '.join(labels)}); "
+                "pass topology=... to pick one"
+            )
+        topology = labels[0]
+
+    original = result.original_record(topology)
+    if original.metrics is None:
+        raise ExperimentError(
+            "the experiment did not collect metrics (collect_metrics=False)"
+        )
+
+    generated = [
+        record
+        for record in result.records_for(topology=topology, d=d)
+        if record.method != ORIGINAL_METHOD
+    ]
+    if not generated:
+        raise ExperimentError(f"no generated records for topology {topology!r}")
+    if any(record.metrics is None for record in generated):
+        raise ExperimentError(
+            "the experiment did not collect metrics (collect_metrics=False)"
+        )
+
+    if label_by is None:
+        multiple_levels = len({record.d for record in generated}) > 1
+        if multiple_levels:
+            label_by = lambda record: f"{record.method} (d={record.d})"  # noqa: E731
+        else:
+            label_by = lambda record: record.method  # noqa: E731
+
+    grouped: dict[str, list[ScalarMetrics]] = {}
+    for record in generated:
+        grouped.setdefault(label_by(record), []).append(record.metrics)
+    columns = {label: average_summaries(summaries) for label, summaries in grouped.items()}
+    return AlgorithmComparison(original=original.metrics, columns=columns)
+
+
 __all__ = [
     "AlgorithmComparison",
     "compare_generators",
@@ -138,4 +211,5 @@ __all__ = [
     "standard_3k_generators",
     "compare_2k_algorithms",
     "compare_3k_algorithms",
+    "comparison_from_experiment",
 ]

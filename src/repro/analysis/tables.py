@@ -7,9 +7,12 @@ the CLI all render results the same way.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.metrics.summary import ScalarMetrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiment import ExperimentResult
 
 # row order and labels used for the paper-style scalar-metric tables
 SCALAR_ROWS: tuple[tuple[str, str], ...] = (
@@ -91,4 +94,53 @@ def series_table(
     return render_table(headers, rows, title=title)
 
 
-__all__ = ["SCALAR_ROWS", "format_value", "render_table", "scalar_metrics_table", "series_table"]
+def experiment_table(
+    result: "ExperimentResult",
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an Experiment pipeline result: one row per grid cell group.
+
+    Replicates of each (topology, method, d) cell are averaged; the scalar
+    columns are blank when the experiment ran with ``collect_metrics=False``.
+    """
+    grouped: dict[tuple[str, str, object], list] = {}
+    for record in result.records:
+        grouped.setdefault((record.topology, record.method, record.d), []).append(record)
+
+    headers = ["topology", "method", "d", "runs", "nodes", "edges", "kbar", "r", "dbar", "time_s"]
+    rows = []
+    for (topology, method, d), records in grouped.items():
+        count = len(records)
+        mean = lambda values: sum(values) / count  # noqa: E731
+        if all(record.metrics is not None for record in records):
+            kbar = format_value(mean([record.metrics.average_degree for record in records]))
+            r = format_value(mean([record.metrics.assortativity for record in records]))
+            dbar = format_value(mean([record.metrics.mean_distance for record in records]))
+        else:
+            kbar = r = dbar = "-"
+        rows.append(
+            [
+                topology,
+                method,
+                "-" if d is None else d,
+                count,
+                round(mean([record.nodes for record in records])),
+                round(mean([record.edges for record in records])),
+                kbar,
+                r,
+                dbar,
+                format_value(mean([record.wall_time for record in records])),
+            ]
+        )
+    return render_table(headers, rows, title=title)
+
+
+__all__ = [
+    "SCALAR_ROWS",
+    "format_value",
+    "render_table",
+    "scalar_metrics_table",
+    "series_table",
+    "experiment_table",
+]

@@ -1,15 +1,25 @@
-"""Command-line tools: ``dkdist``, ``dkgen`` and ``dkcompare``.
+"""The ``repro`` command-line front-end.
 
-These are the library's analogue of the Orbis tools the paper's authors
-released:
+A single entry point (``python -m repro.cli <command> ...``) bundling the
+library's analogue of the Orbis tools the paper's authors released, plus the
+Experiment pipeline:
 
-* ``dkdist``  -- analyze a graph: extract its dK-distributions and scalar
+* ``dist``    -- analyze a graph: extract its dK-distributions and scalar
   metrics; optionally write the 2K-distribution (JDD) to a file.
-* ``dkgen``   -- generate a dK-random graph, either from an input graph
-  (rewiring/stochastic/pseudograph/matching/targeting) or from a JDD file,
-  optionally rescaled to a different size.
-* ``dkcompare`` -- compare two graphs: dK distances and scalar metrics side
-  by side.
+* ``gen``     -- generate a dK-random graph, either from an input graph or
+  from a JDD file, with any registered construction algorithm, optionally
+  rescaled to a different size.
+* ``compare`` -- compare two graphs: dK distances and scalar metrics side by
+  side.
+* ``methods`` -- list the construction algorithms in the generator registry.
+* ``run-experiment`` -- execute a topologies × methods × d-levels ×
+  replicates grid, optionally across parallel worker processes, and render /
+  export the results.
+
+The generation method choices everywhere are derived from
+:mod:`repro.generators.registry`, so algorithms added with
+``register_generator`` show up automatically.  The historical tool names
+(``dkdist``, ``dkgen``, ``dkcompare``) are kept as aliases.
 """
 
 from __future__ import annotations
@@ -18,13 +28,15 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis.tables import render_table, scalar_metrics_table
+from repro.analysis.comparison import comparison_from_experiment
+from repro.analysis.tables import experiment_table, render_table, scalar_metrics_table
 from repro.core.distance import graph_dk_distance
-from repro.core.extraction import dk_distribution, joint_degree_distribution
+from repro.core.distributions import JointDegreeDistribution
 from repro.core.randomness import dk_random_graph
 from repro.core.series import DKSeries
-from repro.generators.pseudograph import pseudograph_2k
-from repro.generators.rewiring.targeting import dk_targeting_construct
+from repro.exceptions import ExperimentError
+from repro.experiment import ExperimentSpec, run_experiment
+from repro.generators.registry import available_generators, get_generator
 from repro.graph.io import read_edge_list, read_jdd, write_edge_list, write_jdd
 from repro.metrics.summary import summarize
 from repro.rescaling.rescale import rescale_jdd
@@ -44,13 +56,18 @@ def _load_graph(source: str):
     )
 
 
+def _method_choices() -> tuple[str, ...]:
+    """Generation-method names, straight from the generator registry."""
+    return tuple(available_generators())
+
+
 # --------------------------------------------------------------------------- #
-# dkdist
+# dist (dkdist)
 # --------------------------------------------------------------------------- #
 def dkdist_main(argv: list[str] | None = None) -> int:
-    """Entry point of the ``dkdist`` analysis tool."""
+    """Entry point of the ``repro dist`` analysis tool."""
     parser = argparse.ArgumentParser(
-        prog="dkdist",
+        prog="repro dist",
         description="Extract the dK-distributions and scalar metrics of a graph.",
     )
     parser.add_argument("graph", help="edge-list file or registered topology name")
@@ -76,12 +93,12 @@ def dkdist_main(argv: list[str] | None = None) -> int:
 
 
 # --------------------------------------------------------------------------- #
-# dkgen
+# gen (dkgen)
 # --------------------------------------------------------------------------- #
 def dkgen_main(argv: list[str] | None = None) -> int:
-    """Entry point of the ``dkgen`` generation tool."""
+    """Entry point of the ``repro gen`` generation tool."""
     parser = argparse.ArgumentParser(
-        prog="dkgen",
+        prog="repro gen",
         description="Generate a dK-random graph from an input graph or a JDD file.",
     )
     parser.add_argument("--input", help="edge-list file or registered topology name")
@@ -89,9 +106,10 @@ def dkgen_main(argv: list[str] | None = None) -> int:
     parser.add_argument("-d", type=int, default=2, choices=(0, 1, 2, 3), help="dK level")
     parser.add_argument(
         "--method",
-        default="rewiring",
-        choices=("rewiring", "stochastic", "pseudograph", "matching", "targeting"),
-        help="construction algorithm (graph input only)",
+        default=None,
+        choices=_method_choices(),
+        help="construction algorithm from the generator registry "
+        "(default: rewiring for graph input, pseudograph for JDD input)",
     )
     parser.add_argument("--rescale", type=int, help="rescale to this many nodes (JDD input)")
     parser.add_argument("--seed", type=int, default=None, help="random seed")
@@ -102,35 +120,42 @@ def dkgen_main(argv: list[str] | None = None) -> int:
         parser.error("exactly one of --input or --jdd must be given")
 
     if args.input:
+        method = args.method or "rewiring"
         original = _load_graph(args.input)
-        generated = dk_random_graph(original, args.d, method=args.method, rng=args.seed)
+        result = dk_random_graph(original, args.d, method=method, rng=args.seed, return_result=True)
+        generated = result.graph
     else:
-        jdd_counts = read_jdd(args.jdd)
-        from repro.core.distributions import JointDegreeDistribution
-
-        jdd = JointDegreeDistribution(jdd_counts)
+        method = args.method or "pseudograph"
+        spec = get_generator(method)
+        if spec.input_kind != "distribution":
+            parser.error(
+                f"method '{method}' requires an original graph (--input); "
+                "a JDD file only supports the distribution-input methods "
+                f"({', '.join(n for n, s in available_generators().items() if s.input_kind == 'distribution')})"
+            )
+        if not spec.supports(2):
+            parser.error(f"method '{method}' does not support d=2 (a JDD is a 2K-distribution)")
+        jdd = JointDegreeDistribution(read_jdd(args.jdd))
         if args.rescale:
             jdd = rescale_jdd(jdd, args.rescale, rng=args.seed)
-        if args.method == "targeting":
-            generated = dk_targeting_construct(jdd, rng=args.seed)
-        else:
-            generated = pseudograph_2k(jdd, rng=args.seed)
+        result = spec.build(jdd, 2, rng=args.seed)
+        generated = result.graph
 
     write_edge_list(generated, args.output)
     print(
         f"wrote {generated.number_of_nodes} nodes / {generated.number_of_edges} edges "
-        f"to {args.output}"
+        f"to {args.output} ({result.method}, d={result.d}, {result.wall_time:.3f}s)"
     )
     return 0
 
 
 # --------------------------------------------------------------------------- #
-# dkcompare
+# compare (dkcompare)
 # --------------------------------------------------------------------------- #
 def dkcompare_main(argv: list[str] | None = None) -> int:
-    """Entry point of the ``dkcompare`` comparison tool."""
+    """Entry point of the ``repro compare`` comparison tool."""
     parser = argparse.ArgumentParser(
-        prog="dkcompare",
+        prog="repro compare",
         description="Compare two graphs: dK distances and scalar metrics.",
     )
     parser.add_argument("graph_a", help="edge-list file or registered topology name")
@@ -156,25 +181,161 @@ def dkcompare_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# methods
+# --------------------------------------------------------------------------- #
+def methods_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro methods``: list the generator registry."""
+    parser = argparse.ArgumentParser(
+        prog="repro methods",
+        description="List the registered dK-construction algorithms.",
+    )
+    parser.parse_args(argv)
+
+    rows = []
+    for name, spec in available_generators().items():
+        rows.append([name, spec.levels_label(), spec.input_kind, spec.description])
+    print(
+        render_table(
+            ["method", "d levels", "input", "description"],
+            rows,
+            title="Registered construction algorithms",
+        )
+    )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# run-experiment
+# --------------------------------------------------------------------------- #
+def run_experiment_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro run-experiment``: execute an experiment grid."""
+    parser = argparse.ArgumentParser(
+        prog="repro run-experiment",
+        description="Run a topologies x methods x d-levels x replicates experiment grid.",
+    )
+    parser.add_argument(
+        "--topology",
+        action="append",
+        required=True,
+        help="edge-list file or registered topology name (repeatable)",
+    )
+    parser.add_argument(
+        "--method",
+        action="append",
+        required=True,
+        choices=_method_choices(),
+        help="construction algorithm (repeatable)",
+    )
+    parser.add_argument(
+        "-d",
+        action="append",
+        type=int,
+        choices=(0, 1, 2, 3),
+        dest="d_levels",
+        help="dK level (repeatable; default: 2)",
+    )
+    parser.add_argument("--replicates", type=int, default=1, help="runs per grid cell")
+    parser.add_argument("--seed", type=int, default=0, help="base experiment seed")
+    parser.add_argument("--workers", type=int, default=1, help="parallel worker processes")
+    parser.add_argument(
+        "--spectrum", action="store_true", help="include the Laplacian eigenvalues (slow)"
+    )
+    parser.add_argument(
+        "--distance-sources", type=int, default=None, help="sampled BFS sources for distances"
+    )
+    parser.add_argument(
+        "--dk-distances", action="store_true", help="record D_d(original, generated) per run"
+    )
+    parser.add_argument(
+        "--no-original", action="store_true", help="skip measuring the original topologies"
+    )
+    parser.add_argument("--json", help="write the full results document to this file")
+    args = parser.parse_args(argv)
+
+    try:
+        spec = ExperimentSpec(
+            topologies=tuple(args.topology),
+            methods=tuple(args.method),
+            d_levels=tuple(args.d_levels or (2,)),
+            replicates=args.replicates,
+            seed=args.seed,
+            include_original=not args.no_original,
+            compute_spectrum=args.spectrum,
+            distance_sources=args.distance_sources,
+            dk_distances=args.dk_distances,
+        )
+        result = run_experiment(spec, workers=args.workers)
+
+        print(
+            experiment_table(
+                result,
+                title=f"Experiment: {len(result.records)} runs, "
+                f"{result.workers} worker(s), {result.wall_time:.2f}s",
+            )
+        )
+        if spec.include_original:
+            for topology in result.topology_labels():
+                generated = [
+                    record
+                    for record in result.records_for(topology=topology)
+                    if record.method != "original"
+                ]
+                if not generated:
+                    continue  # every requested (method, d) cell was unsupported
+                print()
+                print(
+                    scalar_metrics_table(
+                        comparison_from_experiment(result, topology=topology).as_columns(
+                            original_label="original"
+                        ),
+                        title=f"Scalar metrics on {topology} (replicates averaged)",
+                    )
+                )
+        if args.json:
+            Path(args.json).write_text(result.to_json())
+            print(f"\nresults written to {args.json}")
+    except ExperimentError as error:
+        raise SystemExit(str(error)) from None
+    return 0
+
+
+_COMMANDS = {
+    "dist": dkdist_main,
+    "dkdist": dkdist_main,
+    "gen": dkgen_main,
+    "dkgen": dkgen_main,
+    "compare": dkcompare_main,
+    "dkcompare": dkcompare_main,
+    "methods": methods_main,
+    "run-experiment": run_experiment_main,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Dispatch ``python -m repro.cli <tool> ...``."""
+    """Dispatch ``python -m repro.cli <command> ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    usage = "usage: python -m repro.cli {dist,gen,compare,methods,run-experiment} ..."
     if not argv:
-        print("usage: python -m repro.cli {dkdist,dkgen,dkcompare} ...", file=sys.stderr)
+        print(usage, file=sys.stderr)
         return 2
-    tool, *rest = argv
-    if tool == "dkdist":
-        return dkdist_main(rest)
-    if tool == "dkgen":
-        return dkgen_main(rest)
-    if tool == "dkcompare":
-        return dkcompare_main(rest)
-    print(f"unknown tool {tool!r}", file=sys.stderr)
-    return 2
+    command, *rest = argv
+    handler = _COMMANDS.get(command)
+    if handler is None:
+        print(f"unknown command {command!r}\n{usage}", file=sys.stderr)
+        return 2
+    return handler(rest)
 
 
 if __name__ == "__main__":  # pragma: no cover
     raise SystemExit(main())
 
 
-__all__ = ["dkdist_main", "dkgen_main", "dkcompare_main", "main"]
+__all__ = [
+    "dkdist_main",
+    "dkgen_main",
+    "dkcompare_main",
+    "methods_main",
+    "run_experiment_main",
+    "main",
+]

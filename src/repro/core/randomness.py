@@ -4,32 +4,63 @@ The paper distinguishes *dK-graphs* (any graph having property ``P_d``) from
 *dK-random graphs* (the maximum-entropy ones that the constructing algorithms
 actually produce).  This module provides a single entry point,
 :func:`dk_random_graph`, that builds a dK-random counterpart of an input
-graph using the recommended algorithm for each ``d``:
+graph with any algorithm registered in
+:mod:`repro.generators.registry`:
 
-* ``d = 0, 1, 2, 3`` with an original graph available -> dK-randomizing
-  rewiring (the paper's preferred approach, Section 5.1);
-* ``method`` can force one of the alternative constructions (stochastic,
-  pseudograph, matching, targeting) for comparison experiments.
+* ``method="rewiring"`` (default) applies dK-preserving randomizing rewiring
+  to a copy of the original graph (the paper's preferred approach,
+  Section 5.1);
+* the other built-in methods (``stochastic``, ``pseudograph``, ``matching``,
+  ``targeting``) build the graph from the extracted dK-distribution, and any
+  custom method added with
+  :func:`~repro.generators.registry.register_generator` is reachable here by
+  name.
 """
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Literal, overload
 
+from repro.generators.registry import GenerationResult, get_generator
 from repro.graph.simple_graph import SimpleGraph
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike
 
 Method = Literal["rewiring", "stochastic", "pseudograph", "matching", "targeting"]
+
+
+@overload
+def dk_random_graph(
+    original: SimpleGraph,
+    d: int,
+    *,
+    method: str = ...,
+    rng: RngLike = ...,
+    rewiring_multiplier: float = ...,
+    return_result: Literal[False] = ...,
+) -> SimpleGraph: ...
+
+
+@overload
+def dk_random_graph(
+    original: SimpleGraph,
+    d: int,
+    *,
+    method: str = ...,
+    rng: RngLike = ...,
+    rewiring_multiplier: float = ...,
+    return_result: Literal[True],
+) -> GenerationResult: ...
 
 
 def dk_random_graph(
     original: SimpleGraph,
     d: int,
     *,
-    method: Method = "rewiring",
+    method: str = "rewiring",
     rng: RngLike = None,
     rewiring_multiplier: float = 10.0,
-) -> SimpleGraph:
+    return_result: bool = False,
+) -> SimpleGraph | GenerationResult:
     """Construct a dK-random counterpart of ``original``.
 
     Parameters
@@ -39,59 +70,26 @@ def dk_random_graph(
     d:
         Level of the dK-series, 0 to 3.
     method:
-        Construction algorithm.  ``"rewiring"`` (default) applies
-        dK-preserving randomizing rewiring to a copy of the original graph;
-        the other methods build the graph from the extracted distribution:
-        ``"stochastic"`` (d <= 2), ``"pseudograph"`` (d in {1, 2}),
-        ``"matching"`` (d in {1, 2}), ``"targeting"`` (d in {2, 3}).
+        Name of a registered construction algorithm.  ``"rewiring"``
+        (default) applies dK-preserving randomizing rewiring to a copy of the
+        original graph; the other built-in methods build the graph from the
+        extracted distribution: ``"stochastic"`` (d <= 2), ``"pseudograph"``
+        (d in {1, 2}), ``"matching"`` (d in {1, 2}), ``"targeting"``
+        (d in {2, 3}).
     rng:
         Seed or generator for reproducibility.
     rewiring_multiplier:
         Number of accepted rewirings per possible initial rewiring (the paper
-        uses 10).
+        uses 10).  Only meaningful for ``method="rewiring"``.
+    return_result:
+        When true, return the full :class:`GenerationResult` provenance
+        envelope (graph + method, d, seed, wall time, convergence stats)
+        instead of the bare graph.
     """
-    # local imports keep repro.core free of an import cycle with repro.generators
-    from repro.core.extraction import dk_distribution
-    from repro.generators import matching, pseudograph, stochastic
-    from repro.generators.rewiring.preserving import dk_randomize
-    from repro.generators.rewiring.targeting import dk_targeting_construct
-
-    rng = ensure_rng(rng)
-    if d not in (0, 1, 2, 3):
-        raise ValueError(f"d must be in 0..3, got {d}")
-
-    if method == "rewiring":
-        return dk_randomize(original, d, rng=rng, multiplier=rewiring_multiplier)
-
-    if method == "stochastic":
-        if d == 0:
-            return stochastic.stochastic_0k(dk_distribution(original, 0), rng=rng)
-        if d == 1:
-            return stochastic.stochastic_1k(dk_distribution(original, 1), rng=rng)
-        if d == 2:
-            return stochastic.stochastic_2k(dk_distribution(original, 2), rng=rng)
-        raise ValueError("the stochastic construction is only defined for d <= 2")
-
-    if method == "pseudograph":
-        if d == 1:
-            return pseudograph.pseudograph_1k(dk_distribution(original, 1), rng=rng)
-        if d == 2:
-            return pseudograph.pseudograph_2k(dk_distribution(original, 2), rng=rng)
-        raise ValueError("the pseudograph construction is only defined for d in {1, 2}")
-
-    if method == "matching":
-        if d == 1:
-            return matching.matching_1k(dk_distribution(original, 1), rng=rng)
-        if d == 2:
-            return matching.matching_2k(dk_distribution(original, 2), rng=rng)
-        raise ValueError("the matching construction is only defined for d in {1, 2}")
-
-    if method == "targeting":
-        if d in (2, 3):
-            return dk_targeting_construct(dk_distribution(original, d), rng=rng)
-        raise ValueError("the targeting construction is implemented for d in {2, 3}")
-
-    raise ValueError(f"unknown method {method!r}")
+    spec = get_generator(method)
+    options = {"multiplier": rewiring_multiplier} if method == "rewiring" else {}
+    result = spec.build(original, d, rng=rng, **options)
+    return result if return_result else result.graph
 
 
 __all__ = ["dk_random_graph", "Method"]

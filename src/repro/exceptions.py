@@ -23,10 +23,15 @@ class ConvergenceError(ReproError):
     """Raised when an iterative procedure fails to converge within budget."""
 
 
+class ExperimentError(ReproError):
+    """Raised for invalid experiment specifications or unresolvable inputs."""
+
+
 __all__ = [
     "ReproError",
     "GraphError",
     "DistributionError",
     "GenerationError",
     "ConvergenceError",
+    "ExperimentError",
 ]

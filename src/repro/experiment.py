@@ -1,0 +1,454 @@
+"""Declarative Experiment pipeline: topologies × methods × d-levels × replicates.
+
+The paper's evaluation protocol runs every construction algorithm over every
+topology at every dK level, several times, and averages the scalar metrics.
+This module makes that protocol a first-class, batch-oriented API:
+
+* :class:`ExperimentSpec` declares the grid — topology names (or graphs, or
+  edge-list paths), generator-registry method names, dK levels and a
+  replicate count — plus the measurement options (scalar metrics, spectrum,
+  dK distances, keeping the generated graphs).
+* :func:`run_experiment` (or ``spec.run()``) executes every cell of the grid,
+  optionally in parallel over ``workers`` processes.  Per-cell seeds are
+  derived deterministically from the spec seed and the cell coordinates, so
+  the results are bit-identical regardless of worker count or scheduling.
+* :class:`ExperimentResult` holds one :class:`RunRecord` per cell and renders
+  to plain rows (:meth:`~ExperimentResult.to_rows`) or JSON
+  (:meth:`~ExperimentResult.to_json`); ``repro.analysis.comparison`` and
+  ``repro.analysis.tables`` consume it to rebuild the paper's tables.
+
+Quickstart::
+
+    from repro.experiment import ExperimentSpec
+
+    spec = ExperimentSpec(
+        topologies=("hot_small", "skitter_like_small"),
+        methods=("rewiring", "pseudograph", "matching"),
+        d_levels=(2,),
+        replicates=2,
+        seed=1,
+        include_original=True,
+    )
+    result = spec.run(workers=2)
+    print(result.to_json())
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.distance import graph_dk_distance
+from repro.exceptions import ExperimentError
+from repro.generators.registry import get_generator, json_safe
+from repro.graph.io import read_edge_list
+from repro.graph.simple_graph import SimpleGraph
+from repro.metrics.summary import ScalarMetrics, summarize
+from repro.topologies.registry import available_topologies, build_topology
+
+#: Method label reserved for the un-randomized input topology itself.
+ORIGINAL_METHOD = "original"
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One unit of work: (topology, method, d, replicate) plus its seed."""
+
+    topology_index: int
+    topology: str
+    method: str
+    d: int | None
+    replicate: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of a generation/measurement experiment.
+
+    Attributes
+    ----------
+    topologies:
+        Registered topology names, edge-list file paths, or in-memory
+        :class:`SimpleGraph` instances.
+    methods:
+        Names of construction algorithms from the generator registry.
+    d_levels:
+        dK levels to generate at (0..3).
+    replicates:
+        Independent runs per (topology, method, d) cell.
+    seed:
+        Base seed; every cell derives its own deterministic seed from it.
+    name:
+        Free-form experiment label (carried into the JSON output).
+    include_original:
+        Also measure each input topology itself (method ``"original"``).
+    skip_unsupported:
+        Silently drop (method, d) combinations the method does not support
+        (e.g. ``matching`` at d = 3); when false, such combinations raise.
+    collect_metrics:
+        Compute the paper's scalar-metric summary for every generated graph.
+    compute_spectrum:
+        Include the Laplacian eigenvalues in the summary (slowest metric).
+    distance_sources:
+        Number of sampled BFS sources for distance metrics (exact when None).
+    dk_distances:
+        Record ``D_d(original, generated)`` for every generated graph.
+    keep_graphs:
+        Keep the generated graphs on the records (never serialized).
+    generator_options:
+        Per-method extra keyword arguments, e.g.
+        ``{"rewiring": {"multiplier": 5.0}}``.
+    """
+
+    topologies: Sequence[Any]
+    methods: Sequence[str]
+    d_levels: Sequence[int] = (2,)
+    replicates: int = 1
+    seed: int = 0
+    name: str = "experiment"
+    include_original: bool = False
+    skip_unsupported: bool = True
+    collect_metrics: bool = True
+    compute_spectrum: bool = False
+    distance_sources: int | None = None
+    dk_distances: bool = False
+    keep_graphs: bool = False
+    generator_options: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "topologies", tuple(self.topologies))
+        object.__setattr__(self, "methods", tuple(self.methods))
+        object.__setattr__(self, "d_levels", tuple(self.d_levels))
+        object.__setattr__(
+            self,
+            "generator_options",
+            {method: dict(options) for method, options in self.generator_options.items()},
+        )
+        if not self.topologies:
+            raise ExperimentError("an experiment needs at least one topology")
+        if not self.methods and not self.include_original:
+            raise ExperimentError("an experiment needs at least one method")
+        if self.replicates < 1:
+            raise ExperimentError(f"replicates must be >= 1, got {self.replicates}")
+        for d in self.d_levels:
+            if d not in (0, 1, 2, 3):
+                raise ExperimentError(f"d levels must be in 0..3, got {d}")
+        if self.include_original and ORIGINAL_METHOD in self.methods:
+            raise ExperimentError(
+                f"method name {ORIGINAL_METHOD!r} is reserved for include_original"
+            )
+
+    def topology_label(self, index: int) -> str:
+        """Stable label of the ``index``-th topology entry."""
+        entry = self.topologies[index]
+        if isinstance(entry, SimpleGraph):
+            return f"graph-{index}"
+        return str(entry)
+
+    def cells(self) -> list[ExperimentCell]:
+        """Expand the grid into the deterministic list of work cells."""
+        cells: list[ExperimentCell] = []
+        for index in range(len(self.topologies)):
+            label = self.topology_label(index)
+            if self.include_original:
+                cells.append(
+                    ExperimentCell(
+                        topology_index=index,
+                        topology=label,
+                        method=ORIGINAL_METHOD,
+                        d=None,
+                        replicate=0,
+                        seed=_derive_seed(self.seed, index, ORIGINAL_METHOD, None, 0),
+                    )
+                )
+            for method in self.methods:
+                spec = get_generator(method)
+                for d in self.d_levels:
+                    if not spec.supports(d):
+                        if self.skip_unsupported:
+                            continue
+                        spec.check_supports(d)
+                    for replicate in range(self.replicates):
+                        cells.append(
+                            ExperimentCell(
+                                topology_index=index,
+                                topology=label,
+                                method=method,
+                                d=d,
+                                replicate=replicate,
+                                seed=_derive_seed(self.seed, index, method, d, replicate),
+                            )
+                        )
+        return cells
+
+    def run(self, *, workers: int = 1) -> "ExperimentResult":
+        """Execute the experiment; see :func:`run_experiment`."""
+        return run_experiment(self, workers=workers)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable description of the spec (graphs become labels)."""
+        return {
+            "name": self.name,
+            "topologies": [self.topology_label(i) for i in range(len(self.topologies))],
+            "methods": list(self.methods),
+            "d_levels": list(self.d_levels),
+            "replicates": self.replicates,
+            "seed": self.seed,
+            "include_original": self.include_original,
+            "collect_metrics": self.collect_metrics,
+            "compute_spectrum": self.compute_spectrum,
+            "distance_sources": self.distance_sources,
+            "dk_distances": self.dk_distances,
+            "generator_options": {m: dict(o) for m, o in self.generator_options.items()},
+        }
+
+
+@dataclass
+class RunRecord:
+    """Measured outcome of one experiment cell."""
+
+    topology: str
+    method: str
+    d: int | None
+    replicate: int
+    seed: int
+    nodes: int
+    edges: int
+    wall_time: float
+    metrics: ScalarMetrics | None = None
+    stats: dict[str, Any] = field(default_factory=dict)
+    dk_distance: float | None = None
+    graph: SimpleGraph | None = None
+
+    def to_row(self, *, include_timing: bool = True) -> dict[str, Any]:
+        """Flat, JSON-serializable view of the record (drops the graph).
+
+        ``include_timing=False`` omits the wall time, leaving only the
+        deterministic fields — convenient for reproducibility checks.
+        """
+        row = {
+            "topology": self.topology,
+            "method": self.method,
+            "d": self.d,
+            "replicate": self.replicate,
+            "seed": self.seed,
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "dk_distance": None if self.dk_distance is None else float(self.dk_distance),
+            "stats": json_safe(self.stats),
+            "metrics": None if self.metrics is None else json_safe(self.metrics.as_dict()),
+        }
+        if include_timing:
+            row["wall_time"] = float(self.wall_time)
+        return row
+
+
+@dataclass
+class ExperimentResult:
+    """All records of an executed experiment plus execution metadata."""
+
+    spec: ExperimentSpec
+    records: list[RunRecord]
+    workers: int
+    wall_time: float
+
+    def records_for(
+        self,
+        *,
+        topology: str | None = None,
+        method: str | None = None,
+        d: int | None = None,
+    ) -> list[RunRecord]:
+        """Records matching every given coordinate."""
+        return [
+            record
+            for record in self.records
+            if (topology is None or record.topology == topology)
+            and (method is None or record.method == method)
+            and (d is None or record.d == d)
+        ]
+
+    def topology_labels(self) -> list[str]:
+        """Distinct topology labels, in grid order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.topology, None)
+        return list(seen)
+
+    def original_record(self, topology: str) -> RunRecord:
+        """The ``method="original"`` record of ``topology``."""
+        for record in self.records:
+            if record.topology == topology and record.method == ORIGINAL_METHOD:
+                return record
+        raise ExperimentError(
+            f"no original record for topology {topology!r} "
+            "(run the experiment with include_original=True)"
+        )
+
+    def to_rows(self, *, include_timing: bool = True) -> list[dict[str, Any]]:
+        """One flat JSON-serializable dict per record."""
+        return [record.to_row(include_timing=include_timing) for record in self.records]
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Full JSON document: spec, execution metadata and all records."""
+        return json.dumps(
+            {
+                "spec": self.spec.to_dict(),
+                "workers": self.workers,
+                "wall_time": float(self.wall_time),
+                "records": self.to_rows(),
+            },
+            indent=indent,
+        )
+
+
+def _derive_seed(
+    base: int, topology_index: int, method: str, d: int | None, replicate: int
+) -> int:
+    """Deterministic per-cell seed, independent of worker count and order."""
+    entropy = (
+        int(base),
+        topology_index,
+        zlib.crc32(method.encode("utf-8")),
+        0 if d is None else d + 1,
+        replicate,
+    )
+    state = np.random.SeedSequence(entropy).generate_state(1, dtype=np.uint64)[0]
+    return int(state >> 1)  # keep it in the positive int64 range
+
+
+#: Per-process cache of topologies resolved from registered names or paths.
+_TOPOLOGY_CACHE: dict[str, SimpleGraph] = {}
+
+
+def _resolve_topology(entry: Any) -> SimpleGraph:
+    """Materialize a topology entry: graph, registered name, or edge-list path."""
+    if isinstance(entry, SimpleGraph):
+        return entry
+    key = str(entry)
+    cached = _TOPOLOGY_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if key in available_topologies():
+        graph = build_topology(key)
+    elif Path(key).exists():
+        graph = read_edge_list(key)
+    else:
+        raise ExperimentError(
+            f"{key!r} is neither a registered topology "
+            f"({', '.join(available_topologies())}) nor an existing edge-list file"
+        )
+    _TOPOLOGY_CACHE[key] = graph
+    return graph
+
+
+#: Spec installed into each worker process once (see ``_init_worker``), so the
+#: topology list is not re-pickled for every cell.
+_WORKER_SPEC: ExperimentSpec | None = None
+
+
+def _init_worker(spec: ExperimentSpec) -> None:
+    global _WORKER_SPEC
+    _WORKER_SPEC = spec
+
+
+def _execute_cell_in_worker(cell: ExperimentCell) -> RunRecord:
+    return _execute_cell(_WORKER_SPEC, cell)
+
+
+def _execute_cell(spec: ExperimentSpec, cell: ExperimentCell) -> RunRecord:
+    """Run one cell: build the graph, measure it, return the record."""
+    original = _resolve_topology(spec.topologies[cell.topology_index])
+    rng = np.random.default_rng(cell.seed)
+
+    if cell.method == ORIGINAL_METHOD:
+        graph = original
+        stats: dict[str, Any] = {}
+        wall_time = 0.0
+    else:
+        generator = get_generator(cell.method)
+        options = spec.generator_options.get(cell.method, {})
+        generated = generator.build(original, cell.d, rng=rng, **options)
+        graph = generated.graph
+        stats = generated.stats
+        wall_time = generated.wall_time
+
+    metrics = None
+    if spec.collect_metrics:
+        metrics = summarize(
+            graph,
+            compute_spectrum=spec.compute_spectrum,
+            distance_sources=spec.distance_sources,
+            rng=rng,
+        )
+    dk_dist = None
+    if spec.dk_distances and cell.method != ORIGINAL_METHOD:
+        dk_dist = float(graph_dk_distance(original, graph, cell.d))
+
+    return RunRecord(
+        topology=cell.topology,
+        method=cell.method,
+        d=cell.d,
+        replicate=cell.replicate,
+        seed=cell.seed,
+        nodes=graph.number_of_nodes,
+        edges=graph.number_of_edges,
+        wall_time=wall_time,
+        metrics=metrics,
+        stats=stats,
+        dk_distance=dk_dist,
+        graph=graph if spec.keep_graphs else None,
+    )
+
+
+def run_experiment(spec: ExperimentSpec, *, workers: int = 1) -> ExperimentResult:
+    """Execute every cell of ``spec``, optionally across worker processes.
+
+    ``workers=1`` runs inline; ``workers>1`` fans the cells out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor` (the spec is shipped to
+    each worker once, at pool start-up).  Results are returned in grid order
+    and are deterministic for a fixed spec regardless of the worker count.
+
+    .. note::
+       Worker processes see generators registered at import time.  On
+       platforms whose multiprocessing start method is ``spawn`` or
+       ``forkserver``, a custom generator registered dynamically in the
+       parent process is not visible to workers — put the
+       ``register_generator`` call in an imported module, or run with
+       ``workers=1``.
+    """
+    for method in spec.methods:
+        get_generator(method)  # fail fast on unknown methods
+    cells = spec.cells()
+    if not cells:
+        raise ExperimentError(
+            "the experiment grid is empty (no method supports the requested d levels)"
+        )
+    start = time.perf_counter()
+    if workers <= 1:
+        records = [_execute_cell(spec, cell) for cell in cells]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(spec,)
+        ) as executor:
+            records = list(executor.map(_execute_cell_in_worker, cells))
+    wall_time = time.perf_counter() - start
+    return ExperimentResult(spec=spec, records=records, workers=max(1, workers), wall_time=wall_time)
+
+
+__all__ = [
+    "ORIGINAL_METHOD",
+    "ExperimentCell",
+    "ExperimentSpec",
+    "RunRecord",
+    "ExperimentResult",
+    "run_experiment",
+]

@@ -1,4 +1,9 @@
-"""Graph generators: stochastic, pseudograph, matching, rewiring, exploration."""
+"""Graph generators: stochastic, pseudograph, matching, rewiring, exploration.
+
+The construction-algorithm families are catalogued in
+:mod:`repro.generators.registry`; use :func:`available_generators` to list
+them and :func:`register_generator` to plug in new ones.
+"""
 
 from repro.generators import matching, pseudograph, stochastic
 from repro.generators.exploration import (
@@ -23,9 +28,20 @@ from repro.generators.rewiring.preserving import (
     randomize_3k,
     verify_randomization_converged,
 )
+from repro.generators.registry import (
+    GenerationResult,
+    GeneratorInputError,
+    GeneratorSpec,
+    UnknownGeneratorError,
+    UnsupportedLevelError,
+    available_generators,
+    get_generator,
+    register_generator,
+)
 from repro.generators.rewiring.targeting import (
     TargetingResult,
     dk_targeting_construct,
+    dk_targeting_result,
     target_2k_from_1k,
     target_3k_from_2k,
 )
@@ -49,10 +65,19 @@ __all__ = [
     "randomize_2k",
     "randomize_3k",
     "verify_randomization_converged",
+    "GenerationResult",
+    "GeneratorSpec",
+    "GeneratorInputError",
+    "UnknownGeneratorError",
+    "UnsupportedLevelError",
+    "available_generators",
+    "get_generator",
+    "register_generator",
     "TargetingResult",
     "target_2k_from_1k",
     "target_3k_from_2k",
     "dk_targeting_construct",
+    "dk_targeting_result",
     "RewiringCounts",
     "count_dk_rewirings",
     "rewiring_count_table",

@@ -18,11 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal
 
-import numpy as np
 
 from repro.generators.rewiring.swaps import (
     EdgeEndIndex,
-    jdd_delta_of_swap,
     propose_1k_swap,
     propose_2k_swap,
 )

@@ -34,26 +34,41 @@ def _target_moves(graph: SimpleGraph, multiplier: float) -> int:
     return max(1, int(multiplier * graph.number_of_edges))
 
 
+def _record_stats(
+    stats: dict | None, *, target: int, accepted: int, attempted: int
+) -> None:
+    """Fill the caller-supplied ``stats`` dict with the chain's outcome."""
+    if stats is None:
+        return
+    stats["target_moves"] = target
+    stats["accepted_moves"] = accepted
+    stats["attempted_moves"] = attempted
+    stats["converged"] = accepted >= target
+
+
 def randomize_0k(
     graph: SimpleGraph,
     *,
     rng: RngLike = None,
     multiplier: float = 10.0,
     max_attempt_factor: int = 50,
+    stats: dict | None = None,
 ) -> SimpleGraph:
     """0K-preserving randomization of a copy of ``graph``."""
     rng = ensure_rng(rng)
     result = graph.copy()
     target = _target_moves(result, multiplier)
     budget = max_attempt_factor * target
+    attempted = 0
     accepted = 0
-    while accepted < target and budget > 0:
-        budget -= 1
+    while accepted < target and attempted < budget:
+        attempted += 1
         move = propose_0k_move(result, rng)
         if move is None:
             continue
         move.apply(result)
         accepted += 1
+    _record_stats(stats, target=target, accepted=accepted, attempted=attempted)
     return result
 
 
@@ -63,20 +78,23 @@ def randomize_1k(
     rng: RngLike = None,
     multiplier: float = 10.0,
     max_attempt_factor: int = 50,
+    stats: dict | None = None,
 ) -> SimpleGraph:
     """1K-preserving (degree-preserving) randomization of a copy of ``graph``."""
     rng = ensure_rng(rng)
     result = graph.copy()
     target = _target_moves(result, multiplier)
     budget = max_attempt_factor * target
+    attempted = 0
     accepted = 0
-    while accepted < target and budget > 0:
-        budget -= 1
+    while accepted < target and attempted < budget:
+        attempted += 1
         swap = propose_1k_swap(result, rng)
         if swap is None:
             continue
         swap.apply(result)
         accepted += 1
+    _record_stats(stats, target=target, accepted=accepted, attempted=attempted)
     return result
 
 
@@ -86,6 +104,7 @@ def randomize_2k(
     rng: RngLike = None,
     multiplier: float = 10.0,
     max_attempt_factor: int = 50,
+    stats: dict | None = None,
 ) -> SimpleGraph:
     """2K-preserving (JDD-preserving) randomization of a copy of ``graph``."""
     rng = ensure_rng(rng)
@@ -93,15 +112,17 @@ def randomize_2k(
     index = EdgeEndIndex(result)
     target = _target_moves(result, multiplier)
     budget = max_attempt_factor * target
+    attempted = 0
     accepted = 0
-    while accepted < target and budget > 0:
-        budget -= 1
+    while accepted < target and attempted < budget:
+        attempted += 1
         swap = propose_2k_swap(result, index, rng)
         if swap is None:
             continue
         swap.apply(result)
         index.apply_swap(swap)
         accepted += 1
+    _record_stats(stats, target=target, accepted=accepted, attempted=attempted)
     return result
 
 
@@ -111,6 +132,7 @@ def randomize_3k(
     rng: RngLike = None,
     multiplier: float = 10.0,
     max_attempt_factor: int = 200,
+    stats: dict | None = None,
 ) -> SimpleGraph:
     """3K-preserving randomization of a copy of ``graph``.
 
@@ -125,9 +147,10 @@ def randomize_3k(
     tracker = ThreeKTracker(result)
     target = _target_moves(result, multiplier)
     budget = max_attempt_factor * max(result.number_of_edges, 1)
+    attempted = 0
     accepted = 0
-    while accepted < target and budget > 0:
-        budget -= 1
+    while accepted < target and attempted < budget:
+        attempted += 1
         swap = propose_2k_swap(result, index, rng)
         if swap is None:
             continue
@@ -138,6 +161,7 @@ def randomize_3k(
             accepted += 1
         else:
             tracker.revert_edges(result, list(swap.removals), list(swap.additions))
+    _record_stats(stats, target=target, accepted=accepted, attempted=attempted)
     return result
 
 
@@ -147,16 +171,21 @@ def dk_randomize(
     *,
     rng: RngLike = None,
     multiplier: float = 10.0,
+    stats: dict | None = None,
 ) -> SimpleGraph:
-    """Dispatch to the dK-preserving randomizer for ``d`` in ``{0, 1, 2, 3}``."""
+    """Dispatch to the dK-preserving randomizer for ``d`` in ``{0, 1, 2, 3}``.
+
+    When a ``stats`` dict is supplied, the chain's accepted/attempted move
+    counts and convergence flag are recorded into it.
+    """
     if d == 0:
-        return randomize_0k(graph, rng=rng, multiplier=multiplier)
+        return randomize_0k(graph, rng=rng, multiplier=multiplier, stats=stats)
     if d == 1:
-        return randomize_1k(graph, rng=rng, multiplier=multiplier)
+        return randomize_1k(graph, rng=rng, multiplier=multiplier, stats=stats)
     if d == 2:
-        return randomize_2k(graph, rng=rng, multiplier=multiplier)
+        return randomize_2k(graph, rng=rng, multiplier=multiplier, stats=stats)
     if d == 3:
-        return randomize_3k(graph, rng=rng, multiplier=multiplier)
+        return randomize_3k(graph, rng=rng, multiplier=multiplier, stats=stats)
     raise ValueError(f"dK-randomizing rewiring is implemented for d in 0..3, got {d}")
 
 

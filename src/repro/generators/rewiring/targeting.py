@@ -29,9 +29,9 @@ import numpy as np
 
 from repro.core.distributions import JointDegreeDistribution, ThreeKDistribution
 from repro.core.extraction import joint_degree_distribution
+from repro.generators.matching import matching_1k, matching_2k
 from repro.generators.rewiring.swaps import (
     EdgeEndIndex,
-    Swap,
     jdd_delta_of_swap,
     propose_1k_swap,
     propose_2k_swap,
@@ -209,6 +209,49 @@ def target_3k_from_2k(
     )
 
 
+def dk_targeting_result(
+    target,
+    *,
+    rng: RngLike = None,
+    max_attempts: int | None = None,
+) -> tuple[SimpleGraph, dict]:
+    """Run the targeting bootstrap pipeline and return ``(graph, stats)``.
+
+    This is the paper's construction for ``d >= 2`` when no original graph is
+    available:
+
+    * for a :class:`JointDegreeDistribution` target: build a 1K graph from the
+      projected degree distribution with the matching algorithm, then apply
+      2K-targeting 1K-preserving rewiring;
+    * for a :class:`ThreeKDistribution` target: first build a 2K graph for the
+      embedded JDD with the matching algorithm, then apply 3K-targeting
+      2K-preserving rewiring.
+
+    The ``stats`` dict records the Metropolis chain's outcome: the final
+    distance to the target distribution, accepted/attempted move counts, and
+    whether the target was reached exactly (``converged``).
+    """
+    rng = ensure_rng(rng)
+    if isinstance(target, JointDegreeDistribution):
+        seed_graph = matching_1k(target.to_lower(), rng=rng)
+        run = target_2k_from_1k(seed_graph, target, rng=rng, max_attempts=max_attempts)
+    elif isinstance(target, ThreeKDistribution):
+        seed_graph = matching_2k(target.jdd, rng=rng)
+        run = target_3k_from_2k(seed_graph, target, rng=rng, max_attempts=max_attempts)
+    else:
+        raise TypeError(
+            "dk_targeting_result expects a JointDegreeDistribution or ThreeKDistribution, "
+            f"got {type(target).__name__}"
+        )
+    stats = {
+        "distance": float(run.distance),
+        "accepted_moves": run.accepted_moves,
+        "attempted_moves": run.attempted_moves,
+        "converged": run.converged,
+    }
+    return run.graph, stats
+
+
 def dk_targeting_construct(
     target,
     *,
@@ -217,29 +260,9 @@ def dk_targeting_construct(
 ) -> SimpleGraph:
     """Construct a dK-random graph from a dK-distribution alone.
 
-    This is the paper's bootstrap pipeline for ``d >= 2`` when no original
-    graph is available:
-
-    * for a :class:`JointDegreeDistribution` target: build a 1K graph from the
-      projected degree distribution with the pseudograph algorithm, then apply
-      2K-targeting 1K-preserving rewiring;
-    * for a :class:`ThreeKDistribution` target: first obtain a 2K-random graph
-      for the embedded JDD (pseudograph + 2K targeting), then apply
-      3K-targeting 2K-preserving rewiring.
+    Graph-returning convenience wrapper around :func:`dk_targeting_result`.
     """
-    from repro.generators.matching import matching_1k, matching_2k
-
-    rng = ensure_rng(rng)
-    if isinstance(target, JointDegreeDistribution):
-        seed_graph = matching_1k(target.to_lower(), rng=rng)
-        return target_2k_from_1k(seed_graph, target, rng=rng, max_attempts=max_attempts).graph
-    if isinstance(target, ThreeKDistribution):
-        seed_graph = matching_2k(target.jdd, rng=rng)
-        return target_3k_from_2k(seed_graph, target, rng=rng, max_attempts=max_attempts).graph
-    raise TypeError(
-        "dk_targeting_construct expects a JointDegreeDistribution or ThreeKDistribution, "
-        f"got {type(target).__name__}"
-    )
+    return dk_targeting_result(target, rng=rng, max_attempts=max_attempts)[0]
 
 
 __all__ = [
@@ -249,5 +272,6 @@ __all__ = [
     "geometric_cooling",
     "target_2k_from_1k",
     "target_3k_from_2k",
+    "dk_targeting_result",
     "dk_targeting_construct",
 ]

@@ -9,7 +9,6 @@ of the 3K-distribution.
 
 from __future__ import annotations
 
-import math
 
 from repro.graph.simple_graph import SimpleGraph
 from repro.graph.subgraphs import iter_triangles

@@ -22,7 +22,6 @@ this *original*, so the qualitative convergence results (1K already close,
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.graph.components import giant_component
 from repro.graph.simple_graph import SimpleGraph

@@ -8,7 +8,7 @@ types (``None``, an integer seed, or an existing generator) into a
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -16,7 +16,7 @@ from repro.core.entropy import (
     stochastic_edge_probability_1k,
     stochastic_edge_probability_2k,
 )
-from repro.core.extraction import average_degree, degree_distribution, joint_degree_distribution
+from repro.core.extraction import degree_distribution, joint_degree_distribution
 from repro.generators.pseudograph import pseudograph_1k
 from repro.generators.rewiring.preserving import randomize_1k
 from repro.generators.stochastic import stochastic_0k

@@ -1,0 +1,166 @@
+"""Tests for the generator registry (specs, lookup, GenerationResult)."""
+
+import json
+
+import pytest
+
+from repro.core.extraction import dk_distribution
+from repro.core.randomness import dk_random_graph
+from repro.generators import registry
+from repro.generators.registry import (
+    GenerationResult,
+    GeneratorInputError,
+    GeneratorSpec,
+    UnknownGeneratorError,
+    UnsupportedLevelError,
+    available_generators,
+    get_generator,
+    register_generator,
+)
+from repro.graph.simple_graph import SimpleGraph
+
+
+EXPECTED_LEVELS = {
+    "rewiring": {0, 1, 2, 3},
+    "stochastic": {0, 1, 2},
+    "pseudograph": {1, 2},
+    "matching": {1, 2},
+    "targeting": {2, 3},
+}
+
+
+@pytest.fixture
+def scratch_registry(monkeypatch):
+    """Run a test against a disposable copy of the process-wide registry."""
+    monkeypatch.setattr(registry, "_REGISTRY", dict(registry._REGISTRY))
+
+
+def test_all_five_families_registered():
+    specs = available_generators()
+    assert set(specs) == set(EXPECTED_LEVELS)
+    for name, levels in EXPECTED_LEVELS.items():
+        assert set(specs[name].supported_d) == levels, name
+    assert specs["rewiring"].input_kind == "graph"
+    for name in ("stochastic", "pseudograph", "matching", "targeting"):
+        assert specs[name].input_kind == "distribution"
+
+
+def test_get_generator_unknown_name():
+    with pytest.raises(UnknownGeneratorError):
+        get_generator("quantum")
+    # stays catchable as the historical ValueError
+    with pytest.raises(ValueError):
+        get_generator("quantum")
+
+
+def test_register_generator_rejects_silent_overwrite(scratch_registry):
+    spec = GeneratorSpec(
+        name="rewiring",
+        description="shadow",
+        supported_d=frozenset({2}),
+        input_kind="graph",
+        builder=lambda graph, d, rng: graph.copy(),
+    )
+    with pytest.raises(ValueError, match="already registered"):
+        register_generator(spec)
+    register_generator(spec, overwrite=True)
+    assert get_generator("rewiring").description == "shadow"
+
+
+def test_register_custom_generator_reachable_via_front_end(scratch_registry, hot_small):
+    register_generator(
+        GeneratorSpec(
+            name="identity",
+            description="returns a copy of the input graph",
+            supported_d=frozenset({0, 1, 2, 3}),
+            input_kind="graph",
+            builder=lambda graph, d, rng: graph.copy(),
+        )
+    )
+    assert "identity" in available_generators()
+    generated = dk_random_graph(hot_small, 2, method="identity")
+    assert generated == hot_small
+
+
+def test_unsupported_level_raises(hot_small):
+    with pytest.raises(UnsupportedLevelError):
+        get_generator("matching").build(hot_small, 3)
+    with pytest.raises(ValueError):
+        get_generator("stochastic").build(hot_small, 3)
+
+
+def test_invalid_level_raises(hot_small):
+    with pytest.raises(ValueError):
+        get_generator("rewiring").build(hot_small, 4)
+
+
+def test_graph_input_generator_rejects_bare_distribution(hot_small):
+    jdd = dk_distribution(hot_small, 2)
+    with pytest.raises(GeneratorInputError, match="requires an original graph"):
+        get_generator("rewiring").build(jdd, 2)
+
+
+def test_distribution_generator_accepts_graph_or_distribution(hot_small):
+    spec = get_generator("pseudograph")
+    from_graph = spec.build(hot_small, 2, rng=3)
+    from_dist = spec.build(dk_distribution(hot_small, 2), 2, rng=3)
+    assert from_graph.graph == from_dist.graph
+
+
+def test_generation_result_provenance(hot_small):
+    result = get_generator("rewiring").build(hot_small, 2, rng=11)
+    assert isinstance(result, GenerationResult)
+    assert result.method == "rewiring"
+    assert result.d == 2
+    assert result.seed == 11
+    assert result.wall_time >= 0.0
+    assert result.stats["accepted_moves"] > 0
+    assert result.stats["attempted_moves"] >= result.stats["accepted_moves"]
+    assert result.stats["converged"] is True
+    document = json.loads(json.dumps(result.provenance()))
+    assert document["nodes"] == result.graph.number_of_nodes
+    assert document["edges"] == result.graph.number_of_edges
+    assert document["seed"] == 11
+
+
+def test_generation_result_seed_is_none_for_opaque_rng(hot_small):
+    import numpy as np
+
+    result = get_generator("pseudograph").build(hot_small, 2, rng=np.random.default_rng(5))
+    assert result.seed is None
+
+
+def test_targeting_stats_report_convergence(hot_small):
+    result = get_generator("targeting").build(hot_small, 2, rng=1)
+    assert result.stats["distance"] == 0.0
+    assert result.stats["converged"] is True
+    assert result.stats["attempted_moves"] > 0
+
+
+def test_levels_label():
+    assert get_generator("rewiring").levels_label() == "0-3"
+    assert get_generator("targeting").levels_label() == "2-3"
+    single = GeneratorSpec(
+        name="x",
+        description="",
+        supported_d=frozenset({2}),
+        input_kind="graph",
+        builder=lambda graph, d, rng: graph,
+    )
+    assert single.levels_label() == "2"
+    gapped = GeneratorSpec(
+        name="y",
+        description="",
+        supported_d=frozenset({0, 2}),
+        input_kind="graph",
+        builder=lambda graph, d, rng: graph,
+    )
+    assert gapped.levels_label() == "0,2"
+
+
+def test_dk_random_graph_return_result(hot_small):
+    plain = dk_random_graph(hot_small, 2, rng=9)
+    assert isinstance(plain, SimpleGraph)
+    envelope = dk_random_graph(hot_small, 2, rng=9, return_result=True)
+    assert isinstance(envelope, GenerationResult)
+    assert envelope.graph == plain

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core.distance import distance_2k
-from repro.core.distributions import DegreeDistribution, JointDegreeDistribution
+from repro.core.distributions import DegreeDistribution
 from repro.core.extraction import degree_distribution, joint_degree_distribution
 from repro.exceptions import GenerationError
 from repro.generators.matching import matching_1k, matching_2k

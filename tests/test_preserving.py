@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.extraction import (
-    average_degree,
     degree_distribution,
     joint_degree_distribution,
     three_k_distribution,

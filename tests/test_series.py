@@ -5,7 +5,6 @@ import pytest
 from repro.core.distributions import JointDegreeDistribution
 from repro.core.series import SUPPORTED_D, DKSeries
 from repro.generators.rewiring.preserving import randomize_1k, randomize_2k
-from repro.graph.simple_graph import SimpleGraph
 
 
 @pytest.fixture

@@ -6,7 +6,6 @@ import pytest
 from repro.core.distributions import AverageDegree, DegreeDistribution
 from repro.core.extraction import (
     average_degree,
-    degree_distribution,
     joint_degree_distribution,
 )
 from repro.generators.stochastic import stochastic_0k, stochastic_1k, stochastic_2k

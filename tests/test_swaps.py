@@ -14,7 +14,6 @@ from repro.generators.rewiring.swaps import (
     propose_1k_swap,
     propose_2k_swap,
 )
-from repro.graph.simple_graph import SimpleGraph
 
 
 @pytest.fixture
