@@ -9,10 +9,15 @@ construction, which deviates visibly.
 
 The per-method graph families are produced by the Experiment pipeline
 (``keep_graphs=True``): one spec declares the whole methods × d grid, and
-unsupported (method, d) combinations are skipped automatically.
+unsupported (method, d) combinations are skipped automatically.  Every
+family is generated against an artifact store and regenerated warm — the
+second pass streams the identical graphs back from disk faster than any
+construction algorithm could rebuild them.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.analysis.figures import (
     clustering_series,
@@ -21,12 +26,13 @@ from repro.analysis.figures import (
 )
 from repro.analysis.tables import series_table
 from repro.experiment import ExperimentSpec, run_experiment
-from benchmarks._common import GENERATION_SEED, run_once
+from repro.store import ArtifactStore
+from benchmarks._common import GENERATION_SEED, record_result, run_once
 
 ALL_METHODS = ("stochastic", "pseudograph", "matching", "rewiring", "targeting")
 
 
-def _build_families(graph, d_levels):
+def _build_families(graph, d_levels, store=None):
     """Generate one graph per (method, d) cell; returns {d: {method: graph}}."""
     spec = ExperimentSpec(
         topologies=(graph,),
@@ -37,15 +43,36 @@ def _build_families(graph, d_levels):
         collect_metrics=False,
         keep_graphs=True,
     )
-    result = run_experiment(spec)
+    result = run_experiment(spec, store=store)
     families: dict[int, dict[str, object]] = {d: {} for d in d_levels}
     for record in result.records:
         families[record.d][record.method] = record.graph
     return families
 
 
-def test_fig5a_clustering_per_2k_algorithm(benchmark, skitter_graph):
-    family = run_once(benchmark, _build_families, skitter_graph, (2,))[2]
+def _assert_warm_families_match(graph, d_levels, store, cold_families, cold_time):
+    """Rebuild the families warm and check the store replayed them exactly."""
+    warm_start = time.perf_counter()
+    warm_families = _build_families(graph, d_levels, store=store)
+    warm = time.perf_counter() - warm_start
+    record_result(f"fig5_warm_store_d{'_'.join(map(str, d_levels))}", warm, graph)
+    for d, family in cold_families.items():
+        for method, cold_graph in family.items():
+            if method == "original":
+                continue
+            assert warm_families[d][method] == cold_graph, (d, method)
+    # generous slack: the real regression signal is the graph equality above
+    assert warm * 2 <= cold_time + 1.0, (
+        f"warm store run ({warm:.3f}s) not clearly faster than cold ({cold_time:.3f}s)"
+    )
+
+
+def test_fig5a_clustering_per_2k_algorithm(benchmark, skitter_graph, tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    cold_start = time.perf_counter()
+    family = run_once(benchmark, _build_families, skitter_graph, (2,), store=store)[2]
+    cold = time.perf_counter() - cold_start
+    _assert_warm_families_match(skitter_graph, (2,), store, {2: family}, cold)
     family["original"] = skitter_graph
     series = clustering_series(family)
     print()
@@ -58,8 +85,12 @@ def test_fig5a_clustering_per_2k_algorithm(benchmark, skitter_graph):
     assert differences["rewiring"] <= differences["stochastic"] * 1.5 + 1.0
 
 
-def test_fig5b_5c_distance_distributions_on_hot(benchmark, hot_graph):
-    families = run_once(benchmark, _build_families, hot_graph, (2, 3))
+def test_fig5b_5c_distance_distributions_on_hot(benchmark, hot_graph, tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    cold_start = time.perf_counter()
+    families = run_once(benchmark, _build_families, hot_graph, (2, 3), store=store)
+    cold = time.perf_counter() - cold_start
+    _assert_warm_families_match(hot_graph, (2, 3), store, families, cold)
     two_k, three_k = families[2], families[3]
     two_k["original"] = hot_graph
     three_k["original"] = hot_graph

@@ -5,23 +5,29 @@ matching, 2K-randomizing and 2K-targeting all agree closely with each other
 and with the original on k̄ and r.
 
 The grid is declared and executed through the Experiment pipeline (two
-replicates per algorithm, run over two worker processes) and folded into the
-paper-style comparison with :func:`comparison_from_experiment`.
+replicates per algorithm, run over two worker processes) against a
+content-addressed artifact store, then repeated warm: the second run loads
+every cell from the store — zero generator calls, no metric recomputation —
+and must be at least 5x faster than the cold run.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
 from repro.analysis.comparison import comparison_from_experiment
 from repro.analysis.tables import scalar_metrics_table
 from repro.experiment import ExperimentSpec, run_experiment
-from benchmarks._common import GENERATION_SEED, run_once
+from repro.store import ArtifactStore
+from benchmarks._common import GENERATION_SEED, record_result, run_once
 
 NON_STOCHASTIC = ("pseudograph", "matching", "rewiring", "targeting")
 
 
-def test_table3_2k_algorithms_on_hot(benchmark, hot_graph):
+def test_table3_2k_algorithms_on_hot(benchmark, hot_graph, tmp_path):
+    store = ArtifactStore(tmp_path / "store")
     spec = ExperimentSpec(
         topologies=(hot_graph,),
         methods=("stochastic", *NON_STOCHASTIC),
@@ -30,7 +36,20 @@ def test_table3_2k_algorithms_on_hot(benchmark, hot_graph):
         seed=GENERATION_SEED,
         include_original=True,
     )
-    result = run_once(benchmark, run_experiment, spec, workers=2)
+    cold_start = time.perf_counter()
+    result = run_once(benchmark, run_experiment, spec, workers=2, store=store)
+    cold = time.perf_counter() - cold_start
+
+    warm_start = time.perf_counter()
+    warm_result = run_experiment(spec, workers=2, store=store)
+    warm = time.perf_counter() - warm_start
+    record_result("table3_warm_store", warm, warm_result)
+
+    # the warm store replays the whole grid without recomputing anything
+    assert warm_result.cached_cells == len(warm_result.records)
+    assert warm_result.to_rows(include_timing=False) == result.to_rows(include_timing=False)
+    assert warm * 5 <= cold, f"warm store run ({warm:.3f}s) not 5x faster than cold ({cold:.3f}s)"
+
     comparison = comparison_from_experiment(result)
     print()
     print(
@@ -39,6 +58,7 @@ def test_table3_2k_algorithms_on_hot(benchmark, hot_graph):
             title="Table 3: scalar metrics for 2K-random HOT graphs (per algorithm)",
         )
     )
+    print(f"cold {cold:.3f}s vs warm-store {warm:.3f}s ({cold / max(warm, 1e-9):.1f}x)")
     columns = comparison.columns
     original = comparison.original
     # every non-stochastic algorithm reproduces k̄ and r closely

@@ -14,9 +14,16 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._common import AS_SEED, FULL_SCALE, HOT_SEED
+from benchmarks._common import AS_SEED, FULL_SCALE, HOT_SEED, write_results
 from repro.topologies.as_level import synthetic_as_topology
 from repro.topologies.hot import synthetic_hot_topology
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit the machine-readable BENCH_results.json document."""
+    path = write_results()
+    if path is not None:
+        print(f"\nbenchmark results written to {path}")
 
 
 @pytest.fixture(scope="session")

@@ -67,6 +67,12 @@ from repro.generators.registry import (
 )
 from repro.graph import SimpleGraph, from_networkx, giant_component, to_networkx
 from repro.metrics import ScalarMetrics, summarize
+from repro.store import (
+    ArtifactStore,
+    graph_content_hash,
+    memoized_build,
+    memoized_summarize,
+)
 
 __version__ = "1.1.0"
 
@@ -95,5 +101,9 @@ __all__ = [
     "run_experiment",
     "ScalarMetrics",
     "summarize",
+    "ArtifactStore",
+    "graph_content_hash",
+    "memoized_build",
+    "memoized_summarize",
     "__version__",
 ]

@@ -14,7 +14,12 @@ Experiment pipeline:
 * ``methods`` -- list the construction algorithms in the generator registry.
 * ``run-experiment`` -- execute a topologies × methods × d-levels ×
   replicates grid, optionally across parallel worker processes, and render /
-  export the results.
+  export the results.  ``--store DIR`` persists graphs, metrics and per-cell
+  manifests into a content-addressed artifact store; ``--resume`` skips
+  cells already completed there (so an interrupted grid picks up where it
+  left off, and a repeated grid costs nothing).
+* ``cache`` -- inspect (``info``), prune (``gc``) or empty (``clear``) an
+  artifact store directory.
 
 The generation method choices everywhere are derived from
 :mod:`repro.generators.registry`, so algorithms added with
@@ -34,12 +39,13 @@ from repro.core.distance import graph_dk_distance
 from repro.core.distributions import JointDegreeDistribution
 from repro.core.randomness import dk_random_graph
 from repro.core.series import DKSeries
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, StoreError
 from repro.experiment import ExperimentSpec, run_experiment
 from repro.generators.registry import available_generators, get_generator
 from repro.graph.io import read_edge_list, read_jdd, write_edge_list, write_jdd
 from repro.metrics.summary import summarize
 from repro.rescaling.rescale import rescale_jdd
+from repro.store.artifact_store import ArtifactStore
 from repro.topologies.registry import available_topologies, build_topology
 
 
@@ -251,7 +257,22 @@ def run_experiment_main(argv: list[str] | None = None) -> int:
         "--no-original", action="store_true", help="skip measuring the original topologies"
     )
     parser.add_argument("--json", help="write the full results document to this file")
+    parser.add_argument(
+        "--store",
+        help="artifact-store directory: persist generated graphs, metrics and "
+        "per-cell manifests (content-addressed, safe across parallel workers)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: skip cells already completed in the store and "
+        "reuse memoized graphs/metrics (without it, everything is recomputed "
+        "and the store refreshed)",
+    )
     args = parser.parse_args(argv)
+
+    if args.resume and not args.store:
+        parser.error("--resume requires --store DIR")
 
     try:
         spec = ExperimentSpec(
@@ -265,13 +286,16 @@ def run_experiment_main(argv: list[str] | None = None) -> int:
             distance_sources=args.distance_sources,
             dk_distances=args.dk_distances,
         )
-        result = run_experiment(spec, workers=args.workers)
+        result = run_experiment(
+            spec, workers=args.workers, store=args.store, resume=args.resume
+        )
 
+        cached = f", {result.cached_cells} cell(s) from store" if args.store else ""
         print(
             experiment_table(
                 result,
                 title=f"Experiment: {len(result.records)} runs, "
-                f"{result.workers} worker(s), {result.wall_time:.2f}s",
+                f"{result.workers} worker(s), {result.wall_time:.2f}s{cached}",
             )
         )
         if spec.include_original:
@@ -295,7 +319,40 @@ def run_experiment_main(argv: list[str] | None = None) -> int:
         if args.json:
             Path(args.json).write_text(result.to_json())
             print(f"\nresults written to {args.json}")
-    except ExperimentError as error:
+    except (ExperimentError, StoreError) as error:
+        raise SystemExit(str(error)) from None
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# cache
+# --------------------------------------------------------------------------- #
+def cache_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro cache``: artifact-store maintenance."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or maintain a content-addressed artifact store.",
+    )
+    parser.add_argument("action", choices=("info", "gc", "clear"))
+    parser.add_argument("--store", required=True, help="artifact-store directory")
+    args = parser.parse_args(argv)
+
+    if args.action == "clear":
+        # no constructor involved, so this also resets schema-mismatched stores
+        ArtifactStore.wipe(args.store)
+        print(f"store at {args.store} cleared")
+        return 0
+    try:
+        store = ArtifactStore(args.store)
+        if args.action == "info":
+            info = store.info()
+            rows = [[key, value] for key, value in info.items()]
+            print(render_table(["property", "value"], rows, title=f"Artifact store at {args.store}"))
+        else:
+            removed = store.gc()
+            rows = [[category, count] for category, count in removed.items()]
+            print(render_table(["category", "entries removed"], rows, title="Store garbage collection"))
+    except StoreError as error:
         raise SystemExit(str(error)) from None
     return 0
 
@@ -309,13 +366,14 @@ _COMMANDS = {
     "dkcompare": dkcompare_main,
     "methods": methods_main,
     "run-experiment": run_experiment_main,
+    "cache": cache_main,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """Dispatch ``python -m repro.cli <command> ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    usage = "usage: python -m repro.cli {dist,gen,compare,methods,run-experiment} ..."
+    usage = "usage: python -m repro.cli {dist,gen,compare,methods,run-experiment,cache} ..."
     if not argv:
         print(usage, file=sys.stderr)
         return 2
@@ -337,5 +395,6 @@ __all__ = [
     "dkcompare_main",
     "methods_main",
     "run_experiment_main",
+    "cache_main",
     "main",
 ]

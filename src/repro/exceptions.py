@@ -27,6 +27,10 @@ class ExperimentError(ReproError):
     """Raised for invalid experiment specifications or unresolvable inputs."""
 
 
+class StoreError(ReproError):
+    """Raised for corrupt or inconsistent artifact-store contents."""
+
+
 __all__ = [
     "ReproError",
     "GraphError",
@@ -34,4 +38,5 @@ __all__ = [
     "GenerationError",
     "ConvergenceError",
     "ExperimentError",
+    "StoreError",
 ]

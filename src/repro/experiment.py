@@ -16,6 +16,12 @@ This module makes that protocol a first-class, batch-oriented API:
   to plain rows (:meth:`~ExperimentResult.to_rows`) or JSON
   (:meth:`~ExperimentResult.to_json`); ``repro.analysis.comparison`` and
   ``repro.analysis.tables`` consume it to rebuild the paper's tables.
+* ``run_experiment(spec, store=...)`` persists every generated graph, metric
+  block and finished cell into a content-addressed
+  :class:`~repro.store.artifact_store.ArtifactStore`; with ``resume=True``
+  (the default) an interrupted or repeated grid skips completed cells
+  entirely — including across worker processes — and reuses memoized graphs
+  and metrics for cells whose measurement options changed.
 
 Quickstart::
 
@@ -50,7 +56,11 @@ from repro.exceptions import ExperimentError
 from repro.generators.registry import get_generator, json_safe
 from repro.graph.io import read_edge_list
 from repro.graph.simple_graph import SimpleGraph
-from repro.metrics.summary import ScalarMetrics, summarize
+from repro.metrics.summary import ScalarMetrics
+from repro.store.artifact_store import ArtifactStore
+from repro.store.keys import code_version, generation_key, stable_hash
+from repro.store.memo import memoized_build, memoized_summarize
+from repro.store.serialize import graph_content_hash
 from repro.topologies.registry import available_topologies, build_topology
 
 #: Method label reserved for the un-randomized input topology itself.
@@ -189,9 +199,15 @@ class ExperimentSpec:
                         )
         return cells
 
-    def run(self, *, workers: int = 1) -> "ExperimentResult":
+    def run(
+        self,
+        *,
+        workers: int = 1,
+        store: "ArtifactStore | str | Path | None" = None,
+        resume: bool = True,
+    ) -> "ExperimentResult":
         """Execute the experiment; see :func:`run_experiment`."""
-        return run_experiment(self, workers=workers)
+        return run_experiment(self, workers=workers, store=store, resume=resume)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable description of the spec (graphs become labels)."""
@@ -259,6 +275,7 @@ class ExperimentResult:
     records: list[RunRecord]
     workers: int
     wall_time: float
+    cached_cells: int = 0
 
     def records_for(
         self,
@@ -304,6 +321,7 @@ class ExperimentResult:
                 "spec": self.spec.to_dict(),
                 "workers": self.workers,
                 "wall_time": float(self.wall_time),
+                "cached_cells": self.cached_cells,
                 "records": self.to_rows(),
             },
             indent=indent,
@@ -350,50 +368,172 @@ def _resolve_topology(entry: Any) -> SimpleGraph:
     return graph
 
 
-#: Spec installed into each worker process once (see ``_init_worker``), so the
-#: topology list is not re-pickled for every cell.
+#: Spec and store installed into each worker process once (see
+#: ``_init_worker``), so neither is re-pickled for every cell.
 _WORKER_SPEC: ExperimentSpec | None = None
+_WORKER_STORE: ArtifactStore | None = None
+_WORKER_READ_CACHE: bool = True
 
 
-def _init_worker(spec: ExperimentSpec) -> None:
-    global _WORKER_SPEC
+def _init_worker(spec: ExperimentSpec, store: ArtifactStore | None, read_cache: bool) -> None:
+    global _WORKER_SPEC, _WORKER_STORE, _WORKER_READ_CACHE
     _WORKER_SPEC = spec
+    _WORKER_STORE = store
+    _WORKER_READ_CACHE = read_cache
 
 
-def _execute_cell_in_worker(cell: ExperimentCell) -> RunRecord:
-    return _execute_cell(_WORKER_SPEC, cell)
+def _execute_cell_in_worker(
+    task: tuple[ExperimentCell, str | None, str | None],
+) -> RunRecord:
+    cell, cell_key, topology_hash = task
+    return _execute_cell(
+        _WORKER_SPEC,
+        cell,
+        store=_WORKER_STORE,
+        cell_key=cell_key,
+        topology_hash=topology_hash,
+        read_cache=_WORKER_READ_CACHE,
+    )
 
 
-def _execute_cell(spec: ExperimentSpec, cell: ExperimentCell) -> RunRecord:
-    """Run one cell: build the graph, measure it, return the record."""
+def _cell_cache_key(spec: ExperimentSpec, cell: ExperimentCell, topology_hash: str) -> str:
+    """Store key of one finished cell.
+
+    Content-addressed: the topology enters through its content hash (not its
+    label), and every option that changes the cell's measured output is part
+    of the key — so is the code version, which invalidates old entries.
+    """
+    return stable_hash(
+        {
+            "kind": "experiment-cell",
+            "code_version": code_version(),
+            "topology": topology_hash,
+            "method": cell.method,
+            "d": cell.d,
+            "replicate": cell.replicate,
+            "seed": cell.seed,
+            "options": spec.generator_options.get(cell.method, {}),
+            "collect_metrics": spec.collect_metrics,
+            "compute_spectrum": spec.compute_spectrum,
+            "distance_sources": spec.distance_sources,
+            "dk_distances": spec.dk_distances,
+        }
+    )
+
+
+def _record_from_cell_manifest(
+    spec: ExperimentSpec,
+    cell: ExperimentCell,
+    payload: dict[str, Any],
+    store: ArtifactStore,
+    original: SimpleGraph,
+) -> RunRecord | None:
+    """Rebuild a :class:`RunRecord` from a stored cell manifest.
+
+    Returns ``None`` when the manifest cannot satisfy the spec (e.g.
+    ``keep_graphs=True`` but the graph artifact was garbage-collected); the
+    caller then recomputes the cell.
+    """
+    row = payload.get("row")
+    if not isinstance(row, dict):
+        return None
+    metrics_row = row.get("metrics")
+    if spec.collect_metrics and metrics_row is None:
+        return None
+    graph = None
+    if spec.keep_graphs:
+        if cell.method == ORIGINAL_METHOD:
+            graph = original
+        else:
+            graph_key = payload.get("graph_key")
+            cached = store.get_graph(graph_key) if graph_key else None
+            if cached is None:
+                return None
+            graph = cached[0]
+    return RunRecord(
+        topology=cell.topology,
+        method=cell.method,
+        d=cell.d,
+        replicate=cell.replicate,
+        seed=cell.seed,
+        nodes=int(row["nodes"]),
+        edges=int(row["edges"]),
+        wall_time=float(row.get("wall_time", 0.0)),
+        metrics=None if metrics_row is None else ScalarMetrics(**metrics_row),
+        stats=dict(row.get("stats", {})),
+        dk_distance=row.get("dk_distance"),
+        graph=graph,
+    )
+
+
+def _execute_cell(
+    spec: ExperimentSpec,
+    cell: ExperimentCell,
+    *,
+    store: ArtifactStore | None = None,
+    cell_key: str | None = None,
+    topology_hash: str | None = None,
+    read_cache: bool = True,
+) -> RunRecord:
+    """Run one cell: build the graph, measure it, return the record.
+
+    With a ``store``, generation and metrics are memoized at their own
+    content keys and the finished record is written as a cell manifest, so
+    another process (or a later run) can skip this cell entirely.
+    """
     original = _resolve_topology(spec.topologies[cell.topology_index])
-    rng = np.random.default_rng(cell.seed)
+    if store is not None and topology_hash is None:
+        topology_hash = graph_content_hash(original)
 
+    graph_key = None
     if cell.method == ORIGINAL_METHOD:
         graph = original
+        graph_hash = topology_hash
         stats: dict[str, Any] = {}
         wall_time = 0.0
     else:
         generator = get_generator(cell.method)
         options = spec.generator_options.get(cell.method, {})
-        generated = generator.build(original, cell.d, rng=rng, **options)
+        if store is not None:
+            generated = memoized_build(
+                generator,
+                original,
+                cell.d,
+                seed=cell.seed,
+                store=store,
+                options=options,
+                source_hash=topology_hash,
+                read=read_cache,
+            )
+            graph_key = generation_key(cell.method, options, cell.seed, topology_hash, d=cell.d)
+        else:
+            generated = generator.build(
+                original, cell.d, rng=np.random.default_rng(cell.seed), **options
+            )
         graph = generated.graph
+        graph_hash = generated.content_hash  # set iff a store was involved
         stats = generated.stats
         wall_time = generated.wall_time
 
     metrics = None
     if spec.collect_metrics:
-        metrics = summarize(
+        # metrics draw from their own seed-derived stream, so a cell whose
+        # generation step was served from the store measures identically to
+        # one that generated from scratch
+        metrics = memoized_summarize(
             graph,
+            store,
+            graph_hash=graph_hash,
             compute_spectrum=spec.compute_spectrum,
             distance_sources=spec.distance_sources,
-            rng=rng,
+            rng=np.random.default_rng((cell.seed, 1)),
+            read=read_cache,
         )
     dk_dist = None
     if spec.dk_distances and cell.method != ORIGINAL_METHOD:
         dk_dist = float(graph_dk_distance(original, graph, cell.d))
 
-    return RunRecord(
+    record = RunRecord(
         topology=cell.topology,
         method=cell.method,
         d=cell.d,
@@ -407,15 +547,36 @@ def _execute_cell(spec: ExperimentSpec, cell: ExperimentCell) -> RunRecord:
         dk_distance=dk_dist,
         graph=graph if spec.keep_graphs else None,
     )
+    if store is not None and cell_key is not None:
+        store.put_cell(
+            cell_key,
+            {"code_version": code_version(), "graph_key": graph_key, "row": record.to_row()},
+        )
+    return record
 
 
-def run_experiment(spec: ExperimentSpec, *, workers: int = 1) -> ExperimentResult:
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    workers: int = 1,
+    store: ArtifactStore | str | Path | None = None,
+    resume: bool = True,
+) -> ExperimentResult:
     """Execute every cell of ``spec``, optionally across worker processes.
 
     ``workers=1`` runs inline; ``workers>1`` fans the cells out over a
     :class:`~concurrent.futures.ProcessPoolExecutor` (the spec is shipped to
     each worker once, at pool start-up).  Results are returned in grid order
     and are deterministic for a fixed spec regardless of the worker count.
+
+    ``store`` (an :class:`~repro.store.artifact_store.ArtifactStore` or a
+    directory path) persists generated graphs, metric blocks and per-cell
+    manifests.  With ``resume=True`` (the default) completed cells are
+    loaded from the store instead of re-executed — a repeated identical grid
+    performs zero generator calls — and partially matching work (the same
+    generated graph under different measurement options, the same graph
+    measured in another grid) is reused at the graph/metric level.
+    ``resume=False`` recomputes everything and refreshes the store.
 
     .. note::
        Worker processes see generators registered at import time.  On
@@ -432,16 +593,66 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1) -> ExperimentResul
         raise ExperimentError(
             "the experiment grid is empty (no method supports the requested d levels)"
         )
+    store = ArtifactStore.coerce(store)
     start = time.perf_counter()
-    if workers <= 1:
-        records = [_execute_cell(spec, cell) for cell in cells]
+
+    records: list[RunRecord | None] = [None] * len(cells)
+    pending: list[tuple[int, tuple[ExperimentCell, str | None, str | None]]] = []
+    if store is None:
+        pending = [(index, (cell, None, None)) for index, cell in enumerate(cells)]
     else:
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(spec,)
-        ) as executor:
-            records = list(executor.map(_execute_cell_in_worker, cells))
+        topology_hashes: dict[int, str] = {}
+        originals: dict[int, SimpleGraph] = {}
+        for index, cell in enumerate(cells):
+            topo_hash = topology_hashes.get(cell.topology_index)
+            if topo_hash is None:
+                originals[cell.topology_index] = _resolve_topology(
+                    spec.topologies[cell.topology_index]
+                )
+                topo_hash = graph_content_hash(originals[cell.topology_index])
+                topology_hashes[cell.topology_index] = topo_hash
+            cell_key = _cell_cache_key(spec, cell, topo_hash)
+            if resume:
+                manifest = store.get_cell(cell_key)
+                if manifest is not None:
+                    record = _record_from_cell_manifest(
+                        spec, cell, manifest, store, originals[cell.topology_index]
+                    )
+                    if record is not None:
+                        records[index] = record
+                        continue
+            pending.append((index, (cell, cell_key, topo_hash)))
+
+    if pending:
+        tasks = [task for _, task in pending]
+        if workers <= 1:
+            fresh = [
+                _execute_cell(
+                    spec,
+                    cell,
+                    store=store,
+                    cell_key=cell_key,
+                    topology_hash=topo_hash,
+                    read_cache=resume,
+                )
+                for cell, cell_key, topo_hash in tasks
+            ]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_worker, initargs=(spec, store, resume)
+            ) as executor:
+                fresh = list(executor.map(_execute_cell_in_worker, tasks))
+        for (index, _), record in zip(pending, fresh):
+            records[index] = record
+
     wall_time = time.perf_counter() - start
-    return ExperimentResult(spec=spec, records=records, workers=max(1, workers), wall_time=wall_time)
+    return ExperimentResult(
+        spec=spec,
+        records=records,  # type: ignore[arg-type]  # every slot is filled above
+        workers=max(1, workers),
+        wall_time=wall_time,
+        cached_cells=len(cells) - len(pending),
+    )
 
 
 __all__ = [

@@ -1,0 +1,76 @@
+"""Non-dK baseline generators: Erdős–Rényi and Barabási–Albert.
+
+The paper's construction algorithms all target some level of the dK-series
+of the original topology.  Figure 5-style comparisons benefit from reference
+scenarios that deliberately do *not*: classical random-graph models matched
+only on size.  Both baselines here consume the original graph and reproduce
+its ``(n, m)`` while ignoring every degree correlation:
+
+* :func:`erdos_renyi_like` — uniform ``G(n, m)``;
+* :func:`barabasi_albert_like` — preferential attachment with the per-node
+  edge budget chosen to land near ``m`` (power-law degrees, but none of the
+  original's joint-degree structure).
+
+They are registered in :mod:`repro.generators.registry` as ``erdos-renyi``
+and ``barabasi-albert``; the requested dK level is ignored (recorded in the
+stats), so the baselines slot into any experiment grid alongside the dK
+constructions.
+"""
+
+from __future__ import annotations
+
+from repro.graph.simple_graph import SimpleGraph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def erdos_renyi_like(graph: SimpleGraph, *, rng: RngLike = None) -> SimpleGraph:
+    """Uniform ``G(n, m)`` graph with the node and edge counts of ``graph``."""
+    rng = ensure_rng(rng)
+    n = graph.number_of_nodes
+    target = min(graph.number_of_edges, n * (n - 1) // 2)
+    result = SimpleGraph(n)
+    while result.number_of_edges < target:
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if u != v:
+            result.add_edge(u, v)
+    return result
+
+
+def barabasi_albert_like(graph: SimpleGraph, *, rng: RngLike = None) -> SimpleGraph:
+    """Barabási–Albert preferential-attachment graph sized like ``graph``.
+
+    Each arriving node attaches to ``round(m / n)`` (at least 1) distinct
+    existing nodes, chosen proportionally to their current degree, which
+    lands the edge count near the original's ``m``.
+    """
+    rng = ensure_rng(rng)
+    n = graph.number_of_nodes
+    m_total = graph.number_of_edges
+    result = SimpleGraph(n)
+    if n < 2 or m_total == 0:
+        return result
+    per_node = max(1, round(m_total / n))
+    core = min(n, per_node + 1)
+    # seed core: a clique, so every early node has non-zero degree
+    for u in range(core):
+        for v in range(u + 1, core):
+            result.add_edge(u, v)
+    # repeated-endpoints list: drawing uniformly from it is degree-biased
+    endpoints: list[int] = []
+    for u, v in result.edges():
+        endpoints.append(u)
+        endpoints.append(v)
+    for new in range(core, n):
+        targets: set[int] = set()
+        budget = min(per_node, new)
+        while len(targets) < budget:
+            targets.add(int(endpoints[int(rng.integers(len(endpoints)))]))
+        for target in targets:
+            result.add_edge(new, target)
+            endpoints.append(new)
+            endpoints.append(target)
+    return result
+
+
+__all__ = ["erdos_renyi_like", "barabasi_albert_like"]

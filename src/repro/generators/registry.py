@@ -42,6 +42,7 @@ from typing import Any, Callable, Literal
 import numpy as np
 
 from repro.core.extraction import dk_distribution
+from repro.generators.baselines import barabasi_albert_like, erdos_renyi_like
 from repro.generators.matching import matching_1k, matching_2k
 from repro.generators.pseudograph import pseudograph_1k, pseudograph_2k
 from repro.generators.rewiring.preserving import dk_randomize
@@ -90,6 +91,10 @@ class GenerationResult:
     stats:
         Algorithm-specific convergence/rewiring statistics (accepted and
         attempted moves, final target distance, ...).
+    content_hash:
+        Canonical content hash of the graph when known (set by the
+        store-backed :func:`repro.store.memo.memoized_build`), ``None``
+        otherwise.
     """
 
     graph: SimpleGraph
@@ -98,6 +103,7 @@ class GenerationResult:
     seed: int | None
     wall_time: float
     stats: dict[str, Any] = field(default_factory=dict)
+    content_hash: str | None = None
 
     def provenance(self) -> dict[str, Any]:
         """JSON-serializable provenance record (without the graph itself)."""
@@ -216,6 +222,15 @@ def register_generator(spec: GeneratorSpec, *, overwrite: bool = False) -> Gener
     return spec
 
 
+def unregister_generator(name: str) -> None:
+    """Remove a generator family from the registry (no-op when absent).
+
+    Mainly for tests and interactive sessions that register throw-away
+    algorithms.
+    """
+    _REGISTRY.pop(name, None)
+
+
 def get_generator(name: str) -> GeneratorSpec:
     """Look up a registered generator family by name."""
     try:
@@ -233,14 +248,18 @@ def available_generators() -> dict[str, GeneratorSpec]:
 
 
 def json_safe(value: Any) -> Any:
-    """Recursively coerce numpy scalars and containers to JSON-native types."""
+    """Recursively coerce numpy scalars/arrays and containers to JSON-native types."""
     if isinstance(value, dict):
         return {str(key): json_safe(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
         return [json_safe(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((json_safe(item) for item in value), key=repr)
     if isinstance(value, bool):
         return value
-    if hasattr(value, "item"):  # numpy scalar
+    if hasattr(value, "tolist"):  # numpy array (or scalar)
+        return value.tolist()
+    if hasattr(value, "item"):  # other numpy-like scalar
         return value.item()
     return value
 
@@ -325,6 +344,39 @@ register_generator(
 )
 
 
+# --------------------------------------------------------------------------- #
+# Non-dK baselines (reference scenarios for Fig. 5-style comparisons)
+# --------------------------------------------------------------------------- #
+def _build_erdos_renyi(graph, d, rng):
+    return erdos_renyi_like(graph, rng=rng), {"baseline": "erdos_renyi", "ignored_d": d}
+
+
+def _build_barabasi_albert(graph, d, rng):
+    return barabasi_albert_like(graph, rng=rng), {"baseline": "barabasi_albert", "ignored_d": d}
+
+
+register_generator(
+    GeneratorSpec(
+        name="erdos-renyi",
+        description="uniform G(n, m) baseline matching only the size of the "
+        "original (the dK level is ignored)",
+        supported_d=frozenset({0, 1, 2, 3}),
+        input_kind="graph",
+        builder=_build_erdos_renyi,
+    )
+)
+register_generator(
+    GeneratorSpec(
+        name="barabasi-albert",
+        description="Barabási–Albert preferential-attachment baseline sized "
+        "like the original (the dK level is ignored)",
+        supported_d=frozenset({0, 1, 2, 3}),
+        input_kind="graph",
+        builder=_build_barabasi_albert,
+    )
+)
+
+
 __all__ = [
     "InputKind",
     "GenerationResult",
@@ -333,6 +385,7 @@ __all__ = [
     "UnknownGeneratorError",
     "UnsupportedLevelError",
     "register_generator",
+    "unregister_generator",
     "get_generator",
     "available_generators",
     "json_safe",

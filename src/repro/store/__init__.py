@@ -1,0 +1,47 @@
+"""Persistence and caching: content-addressed artifacts, memoized metrics.
+
+The store subsystem lets the heavy parts of the dK-series pipeline —
+generating topologies and computing their metrics — run at most once per
+content key:
+
+* :mod:`repro.store.serialize` — canonical (order-independent) graph bytes,
+  gzip framing, artifact directories, :func:`graph_content_hash`;
+* :mod:`repro.store.keys` — stable SHA-256 cache keys folding in the code
+  version;
+* :mod:`repro.store.artifact_store` — :class:`ArtifactStore`, the on-disk
+  content-addressed store with atomic, lock-free concurrent writes;
+* :mod:`repro.store.memo` — :func:`memoized_build` /
+  :func:`memoized_summarize` facades over the generator registry and
+  :func:`repro.metrics.summary.summarize`.
+
+:func:`repro.experiment.run_experiment` accepts ``store=`` / ``resume=`` to
+persist per-cell manifests and skip completed cells; the ``repro`` CLI
+exposes the same via ``run-experiment --store DIR --resume`` and the
+``cache {info,gc,clear}`` maintenance commands.
+"""
+
+from repro.store.artifact_store import ArtifactStore
+from repro.store.keys import code_version, generation_key, metric_key, stable_hash
+from repro.store.memo import memoized_build, memoized_summarize
+from repro.store.serialize import (
+    graph_content_hash,
+    graph_from_bytes,
+    graph_to_bytes,
+    read_graph_artifact,
+    write_graph_artifact,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "code_version",
+    "generation_key",
+    "metric_key",
+    "stable_hash",
+    "memoized_build",
+    "memoized_summarize",
+    "graph_content_hash",
+    "graph_from_bytes",
+    "graph_to_bytes",
+    "read_graph_artifact",
+    "write_graph_artifact",
+]

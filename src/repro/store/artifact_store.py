@@ -1,0 +1,285 @@
+"""Content-addressed on-disk store for graphs, metrics and experiment cells.
+
+Layout under the store root::
+
+    store.json                      # schema marker
+    graphs/<k[:2]>/<k>/             # graph artifact dirs (payload + manifest)
+    metrics/<k[:2]>/<k>.json        # memoized metric results
+    cells/<k[:2]>/<k>.json          # per-cell experiment manifests
+
+where ``<k>`` is the SHA-256 key from :mod:`repro.store.keys`.  Entries are
+immutable: a key fully determines its content, so concurrent writers (the
+``ProcessPoolExecutor`` path of :func:`repro.experiment.run_experiment`)
+need no locking — every write goes to a unique temporary name in the same
+directory and is published with an atomic :func:`os.replace`; whichever
+writer loses the race simply discards its copy.
+
+Maintenance is exposed as :meth:`ArtifactStore.info`,
+:meth:`ArtifactStore.gc` (drop entries from other code versions, orphaned
+metric/cell entries and stale temporaries) and
+:meth:`ArtifactStore.clear`, mirrored by the ``repro cache`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+import uuid
+import zlib
+from pathlib import Path
+from typing import Any, Iterator, Union
+
+from repro.exceptions import GraphError, StoreError
+from repro.graph.simple_graph import SimpleGraph
+from repro.store.keys import STORE_SCHEMA_VERSION, code_version
+from repro.store.serialize import read_graph_artifact, write_graph_artifact
+
+PathLike = Union[str, Path]
+
+_MARKER_NAME = "store.json"
+_CATEGORIES = ("graphs", "metrics", "cells")
+
+
+def _shard(category_dir: Path, key: str) -> Path:
+    return category_dir / key[:2]
+
+
+class ArtifactStore:
+    """A content-addressed artifact store rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with a ``store.json`` schema marker) if it
+        does not exist yet.
+    compress:
+        Gzip graph payloads (on by default; plain text when false).
+    """
+
+    def __init__(self, root: PathLike, *, compress: bool = True):
+        self.root = Path(root)
+        self.compress = compress
+        self.root.mkdir(parents=True, exist_ok=True)
+        marker = self.root / _MARKER_NAME
+        if marker.exists():
+            schema = json.loads(marker.read_text()).get("schema")
+            if schema != STORE_SCHEMA_VERSION:
+                raise StoreError(
+                    f"store at {self.root} has schema {schema}, "
+                    f"this code expects {STORE_SCHEMA_VERSION} "
+                    "(run `repro cache clear` or point at a fresh directory)"
+                )
+        else:
+            self._write_json_atomic(
+                marker, {"schema": STORE_SCHEMA_VERSION, "created_by": code_version()}
+            )
+
+    @classmethod
+    def coerce(cls, store: "ArtifactStore | PathLike | None") -> "ArtifactStore | None":
+        """Accept an existing store, a directory path, or ``None``."""
+        if store is None or isinstance(store, ArtifactStore):
+            return store
+        return cls(store)
+
+    # ------------------------------------------------------------------ #
+    # low-level atomic writers
+    # ------------------------------------------------------------------ #
+    def _tmp_name(self, final: Path) -> Path:
+        return final.parent / f".{final.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+
+    def _write_json_atomic(self, path: Path, payload: dict[str, Any]) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._tmp_name(path)
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+
+    def _json_path(self, category: str, key: str) -> Path:
+        return _shard(self.root / category, key) / f"{key}.json"
+
+    def _put_json(self, category: str, key: str, payload: dict[str, Any]) -> None:
+        self._write_json_atomic(self._json_path(category, key), payload)
+
+    def _get_json(self, category: str, key: str) -> dict[str, Any] | None:
+        path = self._json_path(category, key)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None  # torn entry: treat as a miss, it will be rewritten
+
+    def _iter_json(self, category: str) -> Iterator[tuple[str, Path]]:
+        base = self.root / category
+        if not base.exists():
+            return
+        for path in sorted(base.glob("*/*.json")):
+            yield path.stem, path
+
+    # ------------------------------------------------------------------ #
+    # graphs
+    # ------------------------------------------------------------------ #
+    def _graph_dir(self, key: str) -> Path:
+        return _shard(self.root / "graphs", key) / key
+
+    def has_graph(self, key: str) -> bool:
+        """Whether a graph artifact exists for ``key``."""
+        return self._graph_dir(key).is_dir()
+
+    def put_graph(
+        self, key: str, graph: SimpleGraph, *, metadata: dict[str, Any] | None = None
+    ) -> dict[str, Any] | None:
+        """Store ``graph`` under ``key``; returns the manifest it wrote.
+
+        A no-op returning ``None`` when the key is already present (the
+        existing entry has identical content, by construction).
+        """
+        final = self._graph_dir(key)
+        if final.is_dir():
+            return None
+        tmp = self._tmp_name(final)
+        manifest = write_graph_artifact(tmp, graph, metadata=metadata, compress=self.compress)
+        try:
+            os.replace(tmp, final)
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)  # lost the race: keep the winner
+            if not final.is_dir():
+                raise
+        return manifest
+
+    def get_graph(self, key: str) -> tuple[SimpleGraph, dict[str, Any]] | None:
+        """Load ``(graph, manifest)`` for ``key``, or ``None`` on a miss."""
+        directory = self._graph_dir(key)
+        if not directory.is_dir():
+            return None
+        try:
+            return read_graph_artifact(directory)
+        except (StoreError, GraphError, OSError, ValueError, EOFError, zlib.error):
+            return None  # corrupt entry (bad payload, manifest, or gzip): miss
+
+    # ------------------------------------------------------------------ #
+    # metrics and experiment cells
+    # ------------------------------------------------------------------ #
+    def put_metric(self, key: str, payload: dict[str, Any]) -> None:
+        """Store a metric-result payload under ``key``."""
+        self._put_json("metrics", key, payload)
+
+    def get_metric(self, key: str) -> dict[str, Any] | None:
+        """Load a metric-result payload, or ``None`` on a miss."""
+        return self._get_json("metrics", key)
+
+    def put_cell(self, key: str, payload: dict[str, Any]) -> None:
+        """Store a per-cell experiment manifest under ``key``."""
+        self._put_json("cells", key, payload)
+
+    def get_cell(self, key: str) -> dict[str, Any] | None:
+        """Load a per-cell experiment manifest, or ``None`` on a miss."""
+        return self._get_json("cells", key)
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def info(self) -> dict[str, Any]:
+        """Entry counts and total payload bytes per category."""
+        counts: dict[str, Any] = {"root": str(self.root), "schema": STORE_SCHEMA_VERSION}
+        total_bytes = 0
+        graph_count = 0
+        graphs = self.root / "graphs"
+        if graphs.exists():
+            for artifact in graphs.glob("*/*"):
+                if artifact.is_dir() and not artifact.name.endswith(".tmp"):
+                    graph_count += 1
+                    total_bytes += sum(
+                        child.stat().st_size for child in artifact.iterdir() if child.is_file()
+                    )
+        counts["graphs"] = graph_count
+        for category in ("metrics", "cells"):
+            entries = list(self._iter_json(category))
+            counts[category] = len(entries)
+            total_bytes += sum(path.stat().st_size for _, path in entries)
+        counts["total_bytes"] = total_bytes
+        return counts
+
+    #: Temporaries younger than this are presumed to belong to a live writer.
+    GC_TMP_AGE_SECONDS = 3600.0
+
+    def gc(self) -> dict[str, int]:
+        """Drop stale entries; returns removal counts per category.
+
+        Removed: abandoned temporaries (older than
+        :attr:`GC_TMP_AGE_SECONDS`, so concurrent writers are left alone),
+        entries written by a different code version, and cell manifests
+        whose referenced graph artifact no longer exists.  Metric entries
+        are version-checked only — they are keyed by graph *content* hash,
+        which stays meaningful even when no artifact stores that graph
+        (e.g. metrics of an original topology).
+        """
+        current = code_version()
+        removed = {"graphs": 0, "metrics": 0, "cells": 0, "tmp": 0}
+
+        cutoff = time.time() - self.GC_TMP_AGE_SECONDS
+        for tmp in self.root.glob("*/*/.*.tmp"):
+            try:
+                if tmp.stat().st_mtime > cutoff:
+                    continue  # a live writer may still publish this
+            except OSError:
+                continue  # vanished mid-scan: the writer finished
+            if tmp.is_dir():
+                shutil.rmtree(tmp, ignore_errors=True)
+            else:
+                tmp.unlink(missing_ok=True)
+            removed["tmp"] += 1
+
+        graphs = self.root / "graphs"
+        live_graphs: set[str] = set()
+        if graphs.exists():
+            for artifact in sorted(graphs.glob("*/*")):
+                if not artifact.is_dir():
+                    continue
+                try:
+                    manifest = json.loads((artifact / "manifest.json").read_text())
+                    stale = manifest["metadata"].get("code_version") not in (None, current)
+                except (OSError, json.JSONDecodeError, KeyError):
+                    stale = True  # unreadable manifest: corrupt artifact
+                if stale:
+                    shutil.rmtree(artifact, ignore_errors=True)
+                    removed["graphs"] += 1
+                else:
+                    live_graphs.add(artifact.name)
+
+        for category in ("metrics", "cells"):
+            for key, path in self._iter_json(category):
+                payload = self._get_json(category, key)
+                stale = payload is None or payload.get("code_version") != current
+                if not stale:
+                    graph_key = payload.get("graph_key")
+                    stale = graph_key is not None and graph_key not in live_graphs
+                if stale:
+                    path.unlink(missing_ok=True)
+                    removed[category] += 1
+        return removed
+
+    def clear(self) -> None:
+        """Remove every entry (the store directory itself is kept)."""
+        for category in _CATEGORIES:
+            shutil.rmtree(self.root / category, ignore_errors=True)
+
+    @classmethod
+    def wipe(cls, root: PathLike) -> None:
+        """Remove every entry *and* the schema marker of the store at ``root``.
+
+        Unlike :meth:`clear` this needs no :class:`ArtifactStore` instance,
+        so it also resets stores whose schema no longer matches (the case
+        where the constructor refuses to open them).
+        """
+        root = Path(root)
+        for category in _CATEGORIES:
+            shutil.rmtree(root / category, ignore_errors=True)
+        (root / _MARKER_NAME).unlink(missing_ok=True)
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore(root={str(self.root)!r}, compress={self.compress})"
+
+
+__all__ = ["ArtifactStore"]

@@ -1,0 +1,163 @@
+"""Memoized generation and metrics on top of the artifact store.
+
+Two facades that keep the eager APIs' signatures but read/write an
+:class:`~repro.store.artifact_store.ArtifactStore` transparently:
+
+* :func:`memoized_build` wraps :meth:`GeneratorSpec.build
+  <repro.generators.registry.GeneratorSpec.build>`: the generated graph is
+  keyed by ``(generator name, params, seed, source graph hash, code
+  version)``, so the same construction is never run twice — across
+  processes, sessions or experiment grids.
+* :func:`memoized_summarize` wraps :func:`repro.metrics.summary.summarize`:
+  the scalar-metric block is keyed by ``(graph content hash, metric params,
+  code version)``, so re-measuring an identical graph (e.g. the same
+  original topology in every grid) is a store read.
+
+Both degrade to the eager computation when ``store`` is ``None``.  Note the
+one caveat of memoizing sampled metrics: when ``distance_sources`` is set,
+the cached value reflects the BFS sample of whichever run computed it first
+(the ``rng`` cannot be part of the key); exact metrics — the default — are
+unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.generators.registry import GenerationResult, GeneratorSpec, json_safe
+from repro.graph.simple_graph import SimpleGraph
+from repro.metrics.summary import ScalarMetrics, summarize
+from repro.store.artifact_store import ArtifactStore
+from repro.store.keys import code_version, generation_key, metric_key
+from repro.store.serialize import graph_content_hash
+from repro.utils.rng import RngLike
+
+#: Metric name under which the Table-2 scalar block is stored.
+SCALAR_SUMMARY_METRIC = "scalar_summary"
+
+
+def memoized_build(
+    spec: GeneratorSpec,
+    original: SimpleGraph,
+    d: int,
+    *,
+    seed: int,
+    store: ArtifactStore | None,
+    options: Mapping[str, Any] | None = None,
+    source_hash: str | None = None,
+    read: bool = True,
+) -> GenerationResult:
+    """Build (or load) the ``(spec, d, options, seed)`` graph for ``original``.
+
+    On a store hit the :class:`GenerationResult` is reconstructed from the
+    artifact manifest — including the stats and the *original* construction
+    wall time — and no generator code runs.  ``read=False`` skips the lookup
+    (forced recomputation) while still writing the result.
+    """
+    options = dict(options or {})
+    if store is None:
+        return spec.build(original, d, rng=seed, **options)
+    if source_hash is None:
+        source_hash = graph_content_hash(original)
+    key = generation_key(spec.name, options, seed, source_hash, d=d)
+    cached = store.get_graph(key) if read else None
+    if cached is not None:
+        graph, manifest = cached
+        metadata = manifest.get("metadata", {})
+        return GenerationResult(
+            graph=graph,
+            method=spec.name,
+            d=d,
+            seed=seed,
+            wall_time=float(metadata.get("wall_time", 0.0)),
+            stats=dict(metadata.get("stats", {})),
+            content_hash=manifest.get("content_hash"),
+        )
+    result = spec.build(original, d, rng=seed, **options)
+    manifest = store.put_graph(
+        key,
+        result.graph,
+        metadata={
+            "code_version": code_version(),
+            "method": spec.name,
+            "d": d,
+            "params": json_safe(options),
+            "seed": seed,
+            "source": source_hash,
+            "wall_time": float(result.wall_time),
+            "stats": json_safe(result.stats),
+        },
+    )
+    # reuse the hash put_graph computed while serializing; only a lost write
+    # race (manifest None) needs its own canonicalization pass
+    content_hash = (
+        manifest["content_hash"] if manifest else graph_content_hash(result.graph)
+    )
+    return GenerationResult(
+        graph=result.graph,
+        method=result.method,
+        d=result.d,
+        seed=result.seed,
+        wall_time=result.wall_time,
+        stats=result.stats,
+        content_hash=content_hash,
+    )
+
+
+def memoized_summarize(
+    graph: SimpleGraph,
+    store: ArtifactStore | None,
+    *,
+    graph_hash: str | None = None,
+    use_giant_component: bool = True,
+    distance_sources: int | None = None,
+    compute_spectrum: bool = True,
+    rng: RngLike = None,
+    read: bool = True,
+) -> ScalarMetrics:
+    """Compute (or load) the scalar-metric summary of ``graph``.
+
+    ``graph_hash`` may be supplied when the caller already knows the content
+    hash (saves re-canonicalizing the graph).  ``read=False`` skips the
+    lookup (forced recomputation) while still writing the result.
+    """
+    if store is None:
+        return summarize(
+            graph,
+            use_giant_component=use_giant_component,
+            distance_sources=distance_sources,
+            compute_spectrum=compute_spectrum,
+            rng=rng,
+        )
+    if graph_hash is None:
+        graph_hash = graph_content_hash(graph)
+    params = {
+        "use_giant_component": use_giant_component,
+        "distance_sources": distance_sources,
+        "compute_spectrum": compute_spectrum,
+    }
+    key = metric_key(graph_hash, SCALAR_SUMMARY_METRIC, params)
+    cached = store.get_metric(key) if read else None
+    if cached is not None:
+        return ScalarMetrics(**cached["value"])
+    result = summarize(
+        graph,
+        use_giant_component=use_giant_component,
+        distance_sources=distance_sources,
+        compute_spectrum=compute_spectrum,
+        rng=rng,
+    )
+    store.put_metric(
+        key,
+        {
+            "code_version": code_version(),
+            "graph": graph_hash,
+            "metric": SCALAR_SUMMARY_METRIC,
+            "params": params,
+            "value": json_safe(result.as_dict()),
+        },
+    )
+    return result
+
+
+__all__ = ["SCALAR_SUMMARY_METRIC", "memoized_build", "memoized_summarize"]

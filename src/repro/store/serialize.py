@@ -1,0 +1,181 @@
+"""Canonical graph serialization for the artifact store.
+
+Content addressing only works when equal graphs serialize to equal bytes, so
+this module defines *one* canonical byte form layered on the plain edge-list
+format of :mod:`repro.graph.io`:
+
+* a header line ``repro-graph <version> <n> <m>``,
+* followed by the ``m`` edges as ``u v`` lines with ``u <= v``, sorted
+  lexicographically.
+
+The byte form is therefore independent of the order in which nodes and edges
+were inserted into the :class:`~repro.graph.simple_graph.SimpleGraph` (it is
+*not* isomorphism-invariant: relabelling nodes changes the bytes, as it
+changes the graph).  :func:`graph_content_hash` is the SHA-256 of the
+canonical bytes and is the identity of a graph everywhere in the store.
+
+On disk an artifact is a directory holding the (optionally gzip-compressed)
+edge payload plus a small ``manifest.json`` with the sizes, the content hash
+and caller-supplied metadata; see :func:`write_graph_artifact` /
+:func:`read_graph_artifact`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.exceptions import GraphError, StoreError
+from repro.graph.simple_graph import SimpleGraph
+
+PathLike = Union[str, Path]
+
+#: Format tag and version written into the canonical header line.
+FORMAT_NAME = "repro-graph"
+FORMAT_VERSION = 1
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+MANIFEST_NAME = "manifest.json"
+EDGES_NAME = "graph.edges"
+EDGES_GZ_NAME = "graph.edges.gz"
+
+
+def canonical_bytes(graph: SimpleGraph) -> bytes:
+    """Uncompressed canonical byte form of ``graph`` (header + sorted edges)."""
+    lines = [f"{FORMAT_NAME} {FORMAT_VERSION} {graph.number_of_nodes} {graph.number_of_edges}"]
+    lines.extend(f"{u} {v}" for u, v in sorted(graph.edges()))
+    return ("\n".join(lines) + "\n").encode("ascii")
+
+
+def graph_to_bytes(graph: SimpleGraph, *, compress: bool = True) -> bytes:
+    """Serialize ``graph`` canonically, gzip-compressed unless ``compress=False``.
+
+    Compression is deterministic (``mtime=0``), so equal graphs produce equal
+    compressed bytes as well.
+    """
+    raw = canonical_bytes(graph)
+    if compress:
+        return gzip.compress(raw, mtime=0)
+    return raw
+
+
+def graph_from_bytes(data: bytes) -> SimpleGraph:
+    """Deserialize bytes produced by :func:`graph_to_bytes` (either flavour).
+
+    The gzip layer is auto-detected from the magic number.  Malformed
+    payloads — bad header, size mismatches, self-loops — raise
+    :class:`~repro.exceptions.GraphError`.
+    """
+    if data[:2] == _GZIP_MAGIC:
+        data = gzip.decompress(data)
+    try:
+        text = data.decode("ascii")
+    except UnicodeDecodeError as error:
+        raise GraphError(f"graph payload is not ascii: {error}") from None
+    lines = text.splitlines()
+    if not lines:
+        raise GraphError("empty graph payload")
+    header = lines[0].split()
+    if len(header) != 4 or header[0] != FORMAT_NAME:
+        raise GraphError(f"malformed graph header: {lines[0]!r}")
+    if int(header[1]) != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported graph format version {header[1]} (expected {FORMAT_VERSION})"
+        )
+    n, m = int(header[2]), int(header[3])
+    graph = SimpleGraph(n)
+    edge_lines = [line for line in lines[1:] if line.strip()]
+    if len(edge_lines) != m:
+        raise GraphError(f"graph payload announces {m} edges but carries {len(edge_lines)}")
+    for line in edge_lines:
+        fields = line.split()
+        if len(fields) != 2:
+            raise GraphError(f"malformed edge line: {line!r}")
+        graph.add_edge(int(fields[0]), int(fields[1]))
+    return graph
+
+
+def graph_content_hash(graph: SimpleGraph) -> str:
+    """SHA-256 hex digest of the canonical byte form of ``graph``.
+
+    Stable across node/edge insertion order; this is the graph's identity in
+    the artifact store (metric results are keyed by it).
+    """
+    return hashlib.sha256(canonical_bytes(graph)).hexdigest()
+
+
+def write_graph_artifact(
+    directory: PathLike,
+    graph: SimpleGraph,
+    *,
+    metadata: dict[str, Any] | None = None,
+    compress: bool = True,
+) -> dict[str, Any]:
+    """Write ``graph`` + manifest into ``directory``; returns the manifest.
+
+    The directory is created if needed.  The manifest records the format
+    version, sizes, the content hash and the caller's ``metadata`` block.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    raw = canonical_bytes(graph)
+    payload_name = EDGES_GZ_NAME if compress else EDGES_NAME
+    payload = gzip.compress(raw, mtime=0) if compress else raw
+    manifest = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "nodes": graph.number_of_nodes,
+        "edges": graph.number_of_edges,
+        "content_hash": hashlib.sha256(raw).hexdigest(),
+        "payload": payload_name,
+        "metadata": metadata or {},
+    }
+    (directory / payload_name).write_bytes(payload)
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, sort_keys=True, indent=1))
+    return manifest
+
+
+def read_graph_artifact(
+    directory: PathLike, *, verify: bool = False
+) -> tuple[SimpleGraph, dict[str, Any]]:
+    """Read a graph artifact directory back into ``(graph, manifest)``.
+
+    ``verify=True`` recomputes the content hash and raises
+    :class:`~repro.exceptions.StoreError` on mismatch (payload corruption).
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise StoreError(f"{directory} is not a graph artifact (no {MANIFEST_NAME})")
+    manifest = json.loads(manifest_path.read_text())
+    payload_path = directory / manifest.get("payload", EDGES_GZ_NAME)
+    if not payload_path.exists():
+        raise StoreError(f"graph artifact {directory} is missing its payload {payload_path.name}")
+    graph = graph_from_bytes(payload_path.read_bytes())
+    if verify:
+        actual = graph_content_hash(graph)
+        if actual != manifest.get("content_hash"):
+            raise StoreError(
+                f"graph artifact {directory} is corrupt: "
+                f"content hash {actual} != manifest {manifest.get('content_hash')}"
+            )
+    return graph, manifest
+
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "EDGES_NAME",
+    "EDGES_GZ_NAME",
+    "canonical_bytes",
+    "graph_to_bytes",
+    "graph_from_bytes",
+    "graph_content_hash",
+    "write_graph_artifact",
+    "read_graph_artifact",
+]

@@ -1,0 +1,89 @@
+"""Tests for the non-dK baseline generators (Erdős–Rényi, Barabási–Albert)."""
+
+import numpy as np
+import pytest
+
+from repro.experiment import ExperimentSpec, run_experiment
+from repro.generators.baselines import barabasi_albert_like, erdos_renyi_like
+from repro.generators.registry import get_generator
+from repro.graph.simple_graph import SimpleGraph
+
+
+def test_erdos_renyi_matches_size(hot_small):
+    baseline = erdos_renyi_like(hot_small, rng=1)
+    assert baseline.number_of_nodes == hot_small.number_of_nodes
+    assert baseline.number_of_edges == hot_small.number_of_edges
+
+
+def test_erdos_renyi_deterministic_per_seed(hot_small):
+    assert erdos_renyi_like(hot_small, rng=1) == erdos_renyi_like(hot_small, rng=1)
+    assert erdos_renyi_like(hot_small, rng=1) != erdos_renyi_like(hot_small, rng=2)
+
+
+def test_erdos_renyi_degenerate_inputs():
+    assert erdos_renyi_like(SimpleGraph(0), rng=1).number_of_nodes == 0
+    assert erdos_renyi_like(SimpleGraph(5), rng=1).number_of_edges == 0
+    # a target denser than possible is capped at the complete graph
+    dense = SimpleGraph(3, edges=[(0, 1), (1, 2), (0, 2)])
+    assert erdos_renyi_like(dense, rng=1).number_of_edges == 3
+
+
+def test_barabasi_albert_matches_node_count_and_approx_edges(as_small):
+    baseline = barabasi_albert_like(as_small, rng=1)
+    assert baseline.number_of_nodes == as_small.number_of_nodes
+    assert baseline.number_of_edges == pytest.approx(as_small.number_of_edges, rel=0.25)
+    # preferential attachment produces a heavier degree tail than G(n, m)
+    uniform = erdos_renyi_like(as_small, rng=1)
+    assert baseline.max_degree() > uniform.max_degree()
+
+
+def test_barabasi_albert_degenerate_inputs():
+    assert barabasi_albert_like(SimpleGraph(0), rng=1).number_of_nodes == 0
+    assert barabasi_albert_like(SimpleGraph(1), rng=1).number_of_edges == 0
+    assert barabasi_albert_like(SimpleGraph(4), rng=1).number_of_edges == 0
+    two = SimpleGraph(2, edges=[(0, 1)])
+    assert barabasi_albert_like(two, rng=1).number_of_edges == 1
+
+
+def test_baselines_are_registered_graph_input_generators(hot_small):
+    for name in ("erdos-renyi", "barabasi-albert"):
+        spec = get_generator(name)
+        assert spec.input_kind == "graph"
+        result = spec.build(hot_small, 2, rng=5)
+        assert result.graph.number_of_nodes == hot_small.number_of_nodes
+        assert result.stats["ignored_d"] == 2
+
+
+def test_baselines_slot_into_an_experiment_grid(hot_small):
+    spec = ExperimentSpec(
+        topologies=(hot_small,),
+        methods=("pseudograph", "erdos-renyi", "barabasi-albert"),
+        d_levels=(2,),
+        seed=1,
+        include_original=True,
+    )
+    result = run_experiment(spec)
+    methods = {record.method for record in result.records}
+    assert {"original", "pseudograph", "erdos-renyi", "barabasi-albert"} <= methods
+    # the baselines ignore degree correlations: ER has near-zero clustering
+    # structure compared to the dK-targeting construction on this topology
+    er = result.records_for(method="erdos-renyi")[0]
+    assert er.nodes == hot_small.number_of_nodes
+
+
+def test_baselines_ignore_unsupported_d_levels(hot_small):
+    # they accept every d level; the distribution of the output is identical
+    g0 = get_generator("erdos-renyi").build(hot_small, 0, rng=np.random.default_rng(3)).graph
+    g3 = get_generator("erdos-renyi").build(hot_small, 3, rng=np.random.default_rng(3)).graph
+    assert g0 == g3
+
+
+def test_barabasi_albert_powerlaw_tail():
+    seed_graph = SimpleGraph(500)
+    rng = np.random.default_rng(0)
+    while seed_graph.number_of_edges < 1000:
+        u, v = int(rng.integers(500)), int(rng.integers(500))
+        if u != v:
+            seed_graph.add_edge(u, v)
+    baseline = barabasi_albert_like(seed_graph, rng=1)
+    assert baseline.max_degree() > 20  # hubs well beyond the mean degree of 4

@@ -26,6 +26,8 @@ EXPECTED_LEVELS = {
     "pseudograph": {1, 2},
     "matching": {1, 2},
     "targeting": {2, 3},
+    "erdos-renyi": {0, 1, 2, 3},
+    "barabasi-albert": {0, 1, 2, 3},
 }
 
 
@@ -35,12 +37,13 @@ def scratch_registry(monkeypatch):
     monkeypatch.setattr(registry, "_REGISTRY", dict(registry._REGISTRY))
 
 
-def test_all_five_families_registered():
+def test_all_families_registered():
     specs = available_generators()
     assert set(specs) == set(EXPECTED_LEVELS)
     for name, levels in EXPECTED_LEVELS.items():
         assert set(specs[name].supported_d) == levels, name
-    assert specs["rewiring"].input_kind == "graph"
+    for name in ("rewiring", "erdos-renyi", "barabasi-albert"):
+        assert specs[name].input_kind == "graph"
     for name in ("stochastic", "pseudograph", "matching", "targeting"):
         assert specs[name].input_kind == "distribution"
 

@@ -1,0 +1,120 @@
+"""Tests for canonical graph serialization and content hashing."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.exceptions import GraphError, StoreError
+from repro.graph.simple_graph import SimpleGraph
+from repro.store.serialize import (
+    canonical_bytes,
+    graph_content_hash,
+    graph_from_bytes,
+    graph_to_bytes,
+    read_graph_artifact,
+    write_graph_artifact,
+)
+
+
+def test_roundtrip_plain_and_gzip(square_with_diagonal):
+    plain = graph_to_bytes(square_with_diagonal, compress=False)
+    packed = graph_to_bytes(square_with_diagonal, compress=True)
+    assert plain != packed
+    assert packed[:2] == b"\x1f\x8b"
+    assert graph_from_bytes(plain) == square_with_diagonal
+    assert graph_from_bytes(packed) == square_with_diagonal
+    # gzip framing is deterministic: equal graphs, equal compressed bytes
+    assert packed == graph_to_bytes(square_with_diagonal, compress=True)
+
+
+def test_roundtrip_empty_graph():
+    for n in (0, 5):
+        empty = SimpleGraph(n)
+        restored = graph_from_bytes(graph_to_bytes(empty))
+        assert restored.number_of_nodes == n
+        assert restored.number_of_edges == 0
+
+
+def test_isolated_nodes_survive():
+    graph = SimpleGraph(10, edges=[(0, 1)])
+    restored = graph_from_bytes(graph_to_bytes(graph))
+    assert restored.number_of_nodes == 10
+    assert restored.number_of_edges == 1
+
+
+def test_hash_stable_across_insertion_orderings():
+    edges = [(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]
+    forward = SimpleGraph(4, edges=edges)
+    backward = SimpleGraph(4, edges=[(v, u) for u, v in reversed(edges)])
+    assert graph_content_hash(forward) == graph_content_hash(backward)
+    # removing and re-adding an edge does not change the identity either
+    forward.remove_edge(1, 2)
+    forward.add_edge(1, 2)
+    assert graph_content_hash(forward) == graph_content_hash(backward)
+
+
+def test_hash_distinguishes_different_graphs(triangle_graph, path_graph):
+    assert graph_content_hash(triangle_graph) != graph_content_hash(path_graph)
+    # an extra isolated node changes the graph, hence the hash
+    bigger = triangle_graph.copy()
+    bigger.add_node()
+    assert graph_content_hash(bigger) != graph_content_hash(triangle_graph)
+
+
+def test_self_loops_rejected():
+    payload = b"repro-graph 1 3 2\n0 1\n2 2\n"
+    with pytest.raises(GraphError, match="self-loop"):
+        graph_from_bytes(payload)
+
+
+def test_malformed_payloads_rejected():
+    with pytest.raises(GraphError, match="header"):
+        graph_from_bytes(b"something-else 1 3 2\n0 1\n")
+    with pytest.raises(GraphError, match="version"):
+        graph_from_bytes(b"repro-graph 99 3 1\n0 1\n")
+    with pytest.raises(GraphError, match="announces"):
+        graph_from_bytes(b"repro-graph 1 3 2\n0 1\n")
+
+
+def test_artifact_directory_roundtrip(tmp_path, small_mixed_graph):
+    manifest = write_graph_artifact(
+        tmp_path / "artifact", small_mixed_graph, metadata={"method": "test"}
+    )
+    assert manifest["nodes"] == small_mixed_graph.number_of_nodes
+    assert manifest["content_hash"] == graph_content_hash(small_mixed_graph)
+    graph, loaded = read_graph_artifact(tmp_path / "artifact", verify=True)
+    assert graph == small_mixed_graph
+    assert loaded["metadata"] == {"method": "test"}
+
+
+def test_artifact_uncompressed_flavour(tmp_path, triangle_graph):
+    write_graph_artifact(tmp_path / "a", triangle_graph, compress=False)
+    assert (tmp_path / "a" / "graph.edges").exists()
+    graph, _ = read_graph_artifact(tmp_path / "a", verify=True)
+    assert graph == triangle_graph
+
+
+def test_artifact_verify_detects_corruption(tmp_path, triangle_graph):
+    write_graph_artifact(tmp_path / "a", triangle_graph, compress=True)
+    payload = tmp_path / "a" / "graph.edges.gz"
+    payload.write_bytes(gzip.compress(canonical_bytes(SimpleGraph(2, edges=[(0, 1)])), mtime=0))
+    read_graph_artifact(tmp_path / "a")  # unverified read succeeds
+    with pytest.raises(StoreError, match="corrupt"):
+        read_graph_artifact(tmp_path / "a", verify=True)
+
+
+def test_artifact_missing_pieces(tmp_path, triangle_graph):
+    with pytest.raises(StoreError, match="not a graph artifact"):
+        read_graph_artifact(tmp_path / "nowhere")
+    write_graph_artifact(tmp_path / "a", triangle_graph)
+    (tmp_path / "a" / "graph.edges.gz").unlink()
+    with pytest.raises(StoreError, match="payload"):
+        read_graph_artifact(tmp_path / "a")
+
+
+def test_manifest_is_json(tmp_path, triangle_graph):
+    write_graph_artifact(tmp_path / "a", triangle_graph)
+    manifest = json.loads((tmp_path / "a" / "manifest.json").read_text())
+    assert manifest["format"] == "repro-graph"
+    assert manifest["edges"] == 3
