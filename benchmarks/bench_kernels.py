@@ -1,0 +1,104 @@
+"""Kernel-engine benchmark: python vs CSR backends on the heavy metrics.
+
+Times ``mean_distance``, ``mean_clustering`` and the full ``summarize`` on
+skitter-like AS topologies at n ∈ {1k, 5k, 20k}, once per backend, and
+records every timing (plus the derived speedups) into BENCH_results.json.
+At n = 20k the distance sweep is source-sampled (both backends draw the same
+sources), since the exact pure-Python sweep would take minutes.
+
+The acceptance bar of the kernel engine is asserted here: the CSR
+distance-distribution kernel must be >= 10x faster than the Python BFS sweep
+from n = 5k up.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._common import AS_SEED, record_result
+from repro.metrics.clustering import mean_clustering
+from repro.metrics.distances import mean_distance
+from repro.metrics.summary import summarize
+from repro.topologies.as_level import synthetic_as_topology
+
+SIZES = (1000, 5000, 20000)
+
+#: n -> sampled BFS sources for the distance-heavy benchmarks (None = exact).
+DISTANCE_SOURCES = {1000: None, 5000: None, 20000: 500}
+
+_GRAPHS: dict[int, object] = {}
+
+#: wall times keyed by (operation, n, backend), for the speedup rows.
+_TIMINGS: dict[tuple[str, int, str], float] = {}
+
+
+def _graph(n):
+    if n not in _GRAPHS:
+        _GRAPHS[n] = synthetic_as_topology(n, rng=AS_SEED)
+    return _GRAPHS[n]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_kernels():
+    """Import the CSR kernel modules (and SciPy) outside the timed regions."""
+    summarize(synthetic_as_topology(64, rng=1), compute_spectrum=False, backend="csr")
+
+
+def _operation(name, graph, n, backend):
+    if name == "mean_distance":
+        return mean_distance(graph, sources=DISTANCE_SOURCES[n], rng=1, backend=backend)
+    if name == "mean_clustering":
+        return mean_clustering(graph, backend=backend)
+    return summarize(
+        graph,
+        compute_spectrum=False,
+        distance_sources=DISTANCE_SOURCES[n],
+        rng=1,
+        backend=backend,
+    )
+
+
+@pytest.mark.parametrize("backend", ("python", "csr"))
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("operation", ("mean_distance", "mean_clustering", "summarize"))
+def test_kernel_backend(benchmark, operation, n, backend):
+    graph = _graph(n)
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        _operation, args=(operation, graph, n, backend), rounds=1, iterations=1
+    )
+    wall = time.perf_counter() - start
+    _TIMINGS[(operation, n, backend)] = wall
+    record_result(
+        f"kernels_{operation}_n{n}_{backend}",
+        wall,
+        n=graph.number_of_nodes,
+        m=graph.number_of_edges,
+    )
+    assert result is not None
+
+
+def test_kernel_speedups():
+    """Derive speedup rows; assert the >= 10x distance-kernel acceptance bar."""
+    rows = []
+    for (operation, n, backend), wall in sorted(_TIMINGS.items()):
+        if backend != "python" or (operation, n, "csr") not in _TIMINGS:
+            continue
+        speedup = wall / max(_TIMINGS[(operation, n, "csr")], 1e-9)
+        graph = _graph(n)
+        record_result(
+            f"kernels_speedup_{operation}_n{n}",
+            speedup,
+            n=graph.number_of_nodes,
+            m=graph.number_of_edges,
+        )
+        rows.append((operation, n, speedup))
+        print(f"{operation} n={n}: csr {speedup:.1f}x faster")
+    distance_speedups = {n: s for op, n, s in rows if op == "mean_distance" and n >= 5000}
+    assert distance_speedups, "distance benchmarks did not run"
+    for n, speedup in distance_speedups.items():
+        assert speedup >= 10.0, (
+            f"CSR distance kernel only {speedup:.1f}x faster at n={n} (need >= 10x)"
+        )

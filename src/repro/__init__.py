@@ -41,69 +41,49 @@ Batch pipeline::
     print(result.to_json())
 """
 
-from repro.core import (
-    AverageDegree,
-    DegreeDistribution,
-    DKSeries,
-    JointDegreeDistribution,
-    ThreeKDistribution,
-    dk_distance,
-    dk_distribution,
-    dk_random_graph,
-    graph_dk_distance,
-)
-from repro.experiment import (
-    ExperimentResult,
-    ExperimentSpec,
-    RunRecord,
-    run_experiment,
-)
-from repro.generators.registry import (
-    GenerationResult,
-    GeneratorSpec,
-    available_generators,
-    get_generator,
-    register_generator,
-)
-from repro.graph import SimpleGraph, from_networkx, giant_component, to_networkx
-from repro.metrics import ScalarMetrics, summarize
-from repro.store import (
-    ArtifactStore,
-    graph_content_hash,
-    memoized_build,
-    memoized_summarize,
-)
+from repro._lazy import lazy_exports
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = [
-    "SimpleGraph",
-    "from_networkx",
-    "to_networkx",
-    "giant_component",
-    "AverageDegree",
-    "DegreeDistribution",
-    "JointDegreeDistribution",
-    "ThreeKDistribution",
-    "DKSeries",
-    "dk_distribution",
-    "dk_distance",
-    "graph_dk_distance",
-    "dk_random_graph",
-    "GenerationResult",
-    "GeneratorSpec",
-    "available_generators",
-    "get_generator",
-    "register_generator",
-    "ExperimentSpec",
-    "ExperimentResult",
-    "RunRecord",
-    "run_experiment",
-    "ScalarMetrics",
-    "summarize",
-    "ArtifactStore",
-    "graph_content_hash",
-    "memoized_build",
-    "memoized_summarize",
-    "__version__",
-]
+# Lazy re-exports (PEP 562): nothing heavy is imported until first attribute
+# access, so `import repro` (and the pure-Python analysis path under it)
+# works on interpreters without NumPy/SciPy — only the construction
+# algorithms, the experiment pipeline and the spectrum metrics require them.
+_EXPORTS = {
+    "SimpleGraph": "repro.graph.simple_graph",
+    "canonical_edge": "repro.graph.simple_graph",
+    "from_networkx": "repro.graph.conversion",
+    "to_networkx": "repro.graph.conversion",
+    "giant_component": "repro.graph.components",
+    "AverageDegree": "repro.core.distributions",
+    "DegreeDistribution": "repro.core.distributions",
+    "JointDegreeDistribution": "repro.core.distributions",
+    "ThreeKDistribution": "repro.core.distributions",
+    "DKSeries": "repro.core.series",
+    "dk_distribution": "repro.core.extraction",
+    "dk_distance": "repro.core.distance",
+    "graph_dk_distance": "repro.core.distance",
+    "dk_random_graph": "repro.core.randomness",
+    "GenerationResult": "repro.generators.registry",
+    "GeneratorSpec": "repro.generators.registry",
+    "available_generators": "repro.generators.registry",
+    "get_generator": "repro.generators.registry",
+    "register_generator": "repro.generators.registry",
+    "ExperimentSpec": "repro.experiment",
+    "ExperimentResult": "repro.experiment",
+    "RunRecord": "repro.experiment",
+    "run_experiment": "repro.experiment",
+    "ScalarMetrics": "repro.metrics.summary",
+    "summarize": "repro.metrics.summary",
+    "ArtifactStore": "repro.store.artifact_store",
+    "graph_content_hash": "repro.store.serialize",
+    "memoized_build": "repro.store.memo",
+    "memoized_summarize": "repro.store.memo",
+    "available_backends": "repro.kernels.backend",
+    "use_backend": "repro.kernels.backend",
+    "current_backend": "repro.kernels.backend",
+}
+
+__all__ = ["__version__", *_EXPORTS]
+
+__getattr__, __dir__ = lazy_exports(__name__, _EXPORTS)

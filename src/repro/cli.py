@@ -67,6 +67,18 @@ def _method_choices() -> tuple[str, ...]:
     return tuple(available_generators())
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--backend`` knob (kernel backend for the scalar metrics)."""
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("python", "csr", "auto"),
+        help="metric kernel backend: pure-Python loops, vectorized NumPy CSR "
+        "kernels, or size-based auto-selection (default; results are "
+        "identical either way)",
+    )
+
+
 # --------------------------------------------------------------------------- #
 # dist (dkdist)
 # --------------------------------------------------------------------------- #
@@ -81,11 +93,12 @@ def dkdist_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-spectrum", action="store_true", help="skip the Laplacian eigenvalues (faster)"
     )
+    _add_backend_argument(parser)
     args = parser.parse_args(argv)
 
     graph = _load_graph(args.graph)
     series = DKSeries.from_graph(graph)
-    summary = summarize(graph, compute_spectrum=not args.no_spectrum)
+    summary = summarize(graph, compute_spectrum=not args.no_spectrum, backend=args.backend)
 
     rows = [[key, value] for key, value in series.summary().items()]
     print(render_table(["dK-series quantity", "value"], rows, title=f"dK analysis of {args.graph}"))
@@ -169,6 +182,7 @@ def dkcompare_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-spectrum", action="store_true", help="skip the Laplacian eigenvalues (faster)"
     )
+    _add_backend_argument(parser)
     args = parser.parse_args(argv)
 
     graph_a = _load_graph(args.graph_a)
@@ -180,8 +194,12 @@ def dkcompare_main(argv: list[str] | None = None) -> int:
     print(render_table(["dK distance", "value"], rows, title="dK distances between the graphs"))
     print()
     columns = {
-        args.graph_a: summarize(graph_a, compute_spectrum=not args.no_spectrum),
-        args.graph_b: summarize(graph_b, compute_spectrum=not args.no_spectrum),
+        args.graph_a: summarize(
+            graph_a, compute_spectrum=not args.no_spectrum, backend=args.backend
+        ),
+        args.graph_b: summarize(
+            graph_b, compute_spectrum=not args.no_spectrum, backend=args.backend
+        ),
     }
     print(scalar_metrics_table(columns, title="Scalar metrics"))
     return 0
@@ -256,6 +274,7 @@ def run_experiment_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-original", action="store_true", help="skip measuring the original topologies"
     )
+    _add_backend_argument(parser)
     parser.add_argument("--json", help="write the full results document to this file")
     parser.add_argument(
         "--store",
@@ -285,6 +304,7 @@ def run_experiment_main(argv: list[str] | None = None) -> int:
             compute_spectrum=args.spectrum,
             distance_sources=args.distance_sources,
             dk_distances=args.dk_distances,
+            backend=args.backend,
         )
         result = run_experiment(
             spec, workers=args.workers, store=args.store, resume=args.resume

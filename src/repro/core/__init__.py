@@ -1,56 +1,37 @@
-"""The dK-series core: distributions, extraction, distances, entropy, series."""
+"""The dK-series core: distributions, extraction, distances, entropy, series.
 
-from repro.core.distance import (
-    distance_0k,
-    distance_1k,
-    distance_2k,
-    distance_3k,
-    dk_distance,
-    graph_dk_distance,
-)
-from repro.core.distributions import (
-    AverageDegree,
-    DegreeDistribution,
-    JointDegreeDistribution,
-    ThreeKDistribution,
-)
-from repro.core.entropy import (
-    expected_jdd_edge_counts,
-    maximum_entropy_degree_distribution,
-    maximum_entropy_jdd,
-    poisson_degree_pmf,
-)
-from repro.core.extraction import (
-    average_degree,
-    degree_distribution,
-    dk_distribution,
-    joint_degree_distribution,
-    three_k_distribution,
-)
-from repro.core.randomness import dk_random_graph
-from repro.core.series import SUPPORTED_D, DKSeries
+Re-exports are lazy (PEP 562): everything here is pure Python except
+``dk_random_graph``, which pulls in the NumPy-based construction algorithms
+on first access.
+"""
 
-__all__ = [
-    "AverageDegree",
-    "DegreeDistribution",
-    "JointDegreeDistribution",
-    "ThreeKDistribution",
-    "average_degree",
-    "degree_distribution",
-    "joint_degree_distribution",
-    "three_k_distribution",
-    "dk_distribution",
-    "dk_distance",
-    "graph_dk_distance",
-    "distance_0k",
-    "distance_1k",
-    "distance_2k",
-    "distance_3k",
-    "poisson_degree_pmf",
-    "maximum_entropy_degree_distribution",
-    "maximum_entropy_jdd",
-    "expected_jdd_edge_counts",
-    "dk_random_graph",
-    "DKSeries",
-    "SUPPORTED_D",
-]
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "AverageDegree": "repro.core.distributions",
+    "DegreeDistribution": "repro.core.distributions",
+    "JointDegreeDistribution": "repro.core.distributions",
+    "ThreeKDistribution": "repro.core.distributions",
+    "average_degree": "repro.core.extraction",
+    "degree_distribution": "repro.core.extraction",
+    "joint_degree_distribution": "repro.core.extraction",
+    "three_k_distribution": "repro.core.extraction",
+    "dk_distribution": "repro.core.extraction",
+    "dk_distance": "repro.core.distance",
+    "graph_dk_distance": "repro.core.distance",
+    "distance_0k": "repro.core.distance",
+    "distance_1k": "repro.core.distance",
+    "distance_2k": "repro.core.distance",
+    "distance_3k": "repro.core.distance",
+    "poisson_degree_pmf": "repro.core.entropy",
+    "maximum_entropy_degree_distribution": "repro.core.entropy",
+    "maximum_entropy_jdd": "repro.core.entropy",
+    "expected_jdd_edge_counts": "repro.core.entropy",
+    "dk_random_graph": "repro.core.randomness",
+    "DKSeries": "repro.core.series",
+    "SUPPORTED_D": "repro.core.series",
+}
+
+__all__ = list(_EXPORTS)
+
+__getattr__, __dir__ = lazy_exports(__name__, _EXPORTS)

@@ -6,8 +6,6 @@ given an input graph, compute its 0K/1K/2K/3K-distribution.
 
 from __future__ import annotations
 
-from collections import Counter
-
 from repro.core.distributions import (
     AverageDegree,
     DegreeDistribution,
@@ -16,6 +14,7 @@ from repro.core.distributions import (
 )
 from repro.graph.simple_graph import SimpleGraph
 from repro.graph.subgraphs import triangle_degree_counts, wedge_degree_counts
+from repro.kernels.backend import dispatch
 
 
 def average_degree(graph: SimpleGraph) -> AverageDegree:
@@ -28,16 +27,16 @@ def degree_distribution(graph: SimpleGraph) -> DegreeDistribution:
     return DegreeDistribution(graph.degree_histogram())
 
 
-def joint_degree_distribution(graph: SimpleGraph) -> JointDegreeDistribution:
-    """Extract the 2K-distribution (joint degree distribution over edges)."""
-    degrees = graph.degrees()
-    counter: Counter = Counter()
-    for u, v in graph.edges():
-        k1, k2 = degrees[u], degrees[v]
-        key = (k1, k2) if k1 <= k2 else (k2, k1)
-        counter[key] += 1
-    zero_degree = sum(1 for k in degrees if k == 0)
-    return JointDegreeDistribution(dict(counter), zero_degree_nodes=zero_degree)
+def joint_degree_distribution(
+    graph: SimpleGraph, *, backend: str | None = None
+) -> JointDegreeDistribution:
+    """Extract the 2K-distribution (joint degree distribution over edges).
+
+    Dispatches through the kernel backend registry: the vectorized CSR kernel
+    and the pure-Python edge loop return identical integer counts.
+    """
+    counts, zero_degree = dispatch("jdd_counts", graph, backend)(graph)
+    return JointDegreeDistribution(counts, zero_degree_nodes=zero_degree)
 
 
 def three_k_distribution(graph: SimpleGraph) -> ThreeKDistribution:

@@ -116,6 +116,12 @@ class ExperimentSpec:
     generator_options:
         Per-method extra keyword arguments, e.g.
         ``{"rewiring": {"multiplier": 5.0}}``.
+    backend:
+        Kernel backend for the scalar metrics ("python", "csr" or "auto";
+        see :mod:`repro.kernels.backend`).  Metric values are identical on
+        every backend, so the backend is deliberately **not** part of any
+        store cache key: results computed by one backend are served to runs
+        using the other.
     """
 
     topologies: Sequence[Any]
@@ -132,6 +138,7 @@ class ExperimentSpec:
     dk_distances: bool = False
     keep_graphs: bool = False
     generator_options: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "topologies", tuple(self.topologies))
@@ -154,6 +161,10 @@ class ExperimentSpec:
         if self.include_original and ORIGINAL_METHOD in self.methods:
             raise ExperimentError(
                 f"method name {ORIGINAL_METHOD!r} is reserved for include_original"
+            )
+        if self.backend is not None and self.backend not in ("python", "csr", "auto"):
+            raise ExperimentError(
+                f"backend must be 'python', 'csr' or 'auto', got {self.backend!r}"
             )
 
     def topology_label(self, index: int) -> str:
@@ -224,6 +235,7 @@ class ExperimentSpec:
             "distance_sources": self.distance_sources,
             "dk_distances": self.dk_distances,
             "generator_options": {m: dict(o) for m, o in self.generator_options.items()},
+            "backend": self.backend,
         }
 
 
@@ -528,6 +540,7 @@ def _execute_cell(
             distance_sources=spec.distance_sources,
             rng=np.random.default_rng((cell.seed, 1)),
             read=read_cache,
+            backend=spec.backend,
         )
     dk_dist = None
     if spec.dk_distances and cell.method != ORIGINAL_METHOD:

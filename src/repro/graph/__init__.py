@@ -1,37 +1,29 @@
-"""Graph substrate: simple-graph data structure, components, subgraph counts, I/O."""
+"""Graph substrate: simple-graph data structure, components, subgraph counts, I/O.
 
-from repro.graph.components import (
-    connected_components,
-    giant_component,
-    is_connected,
-    largest_component_nodes,
-    number_of_components,
-)
-from repro.graph.conversion import from_networkx, to_networkx
-from repro.graph.simple_graph import SimpleGraph, canonical_edge
-from repro.graph.subgraphs import (
-    iter_triangles,
-    local_clustering,
-    triangle_count,
-    triangle_degree_counts,
-    wedge_count,
-    wedge_degree_counts,
-)
+Re-exports are lazy (PEP 562): the substrate is pure Python except the
+networkx/adjacency-matrix conversion helpers.
+"""
 
-__all__ = [
-    "SimpleGraph",
-    "canonical_edge",
-    "connected_components",
-    "giant_component",
-    "is_connected",
-    "largest_component_nodes",
-    "number_of_components",
-    "from_networkx",
-    "to_networkx",
-    "iter_triangles",
-    "local_clustering",
-    "triangle_count",
-    "triangle_degree_counts",
-    "wedge_count",
-    "wedge_degree_counts",
-]
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "SimpleGraph": "repro.graph.simple_graph",
+    "canonical_edge": "repro.graph.simple_graph",
+    "connected_components": "repro.graph.components",
+    "giant_component": "repro.graph.components",
+    "is_connected": "repro.graph.components",
+    "largest_component_nodes": "repro.graph.components",
+    "number_of_components": "repro.graph.components",
+    "from_networkx": "repro.graph.conversion",
+    "to_networkx": "repro.graph.conversion",
+    "iter_triangles": "repro.graph.subgraphs",
+    "local_clustering": "repro.graph.subgraphs",
+    "triangle_count": "repro.graph.subgraphs",
+    "triangle_degree_counts": "repro.graph.subgraphs",
+    "wedge_count": "repro.graph.subgraphs",
+    "wedge_degree_counts": "repro.graph.subgraphs",
+}
+
+__all__ = list(_EXPORTS)
+
+__getattr__, __dir__ = lazy_exports(__name__, _EXPORTS)

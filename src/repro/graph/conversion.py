@@ -8,8 +8,6 @@ The library's own algorithms all operate on :class:`SimpleGraph`.
 from __future__ import annotations
 
 import networkx as nx
-import numpy as np
-import scipy.sparse as sp
 
 from repro.graph.simple_graph import SimpleGraph
 
@@ -39,8 +37,11 @@ def from_networkx(g: nx.Graph) -> tuple[SimpleGraph, dict]:
     return graph, mapping
 
 
-def adjacency_matrix(graph: SimpleGraph) -> sp.csr_matrix:
-    """Sparse symmetric adjacency matrix of the graph."""
+def adjacency_matrix(graph: SimpleGraph):
+    """Sparse symmetric adjacency matrix of the graph (requires SciPy)."""
+    import numpy as np
+    import scipy.sparse as sp
+
     n = graph.number_of_nodes
     edges = graph.edge_list()
     if not edges:

@@ -44,7 +44,7 @@ class SimpleGraph:
         automatically enlarge the graph.
     """
 
-    __slots__ = ("_adj", "_edges", "_edge_pos")
+    __slots__ = ("_adj", "_edges", "_edge_pos", "_csr_cache")
 
     def __init__(self, n: int = 0, edges: Iterable[Edge] | None = None, *, grow: bool = False):
         if n < 0:
@@ -52,6 +52,9 @@ class SimpleGraph:
         self._adj: list[set[int]] = [set() for _ in range(n)]
         self._edges: list[Edge] = []
         self._edge_pos: dict[Edge, int] = {}
+        # CSR snapshot memoized by repro.kernels.csr.csr_graph; every
+        # mutation resets it so kernels never see a stale view
+        self._csr_cache = None
         if edges is not None:
             for u, v in edges:
                 if grow:
@@ -79,6 +82,7 @@ class SimpleGraph:
     def add_node(self) -> int:
         """Append an isolated node and return its id."""
         self._adj.append(set())
+        self._csr_cache = None
         return len(self._adj) - 1
 
     def add_nodes(self, count: int) -> list[int]:
@@ -87,6 +91,7 @@ class SimpleGraph:
             raise ValueError("count must be non-negative")
         first = len(self._adj)
         self._adj.extend(set() for _ in range(count))
+        self._csr_cache = None
         return list(range(first, first + count))
 
     def _check_node(self, u: int) -> None:
@@ -110,6 +115,7 @@ class SimpleGraph:
         edge = canonical_edge(u, v)
         self._edge_pos[edge] = len(self._edges)
         self._edges.append(edge)
+        self._csr_cache = None
         return True
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -125,6 +131,7 @@ class SimpleGraph:
         self._edge_pos[last] = pos
         self._edges.pop()
         del self._edge_pos[edge]
+        self._csr_cache = None
 
     def has_edge(self, u: int, v: int) -> bool:
         """Return ``True`` when ``(u, v)`` is an edge of the graph."""
@@ -225,6 +232,17 @@ class SimpleGraph:
 
     def __hash__(self) -> int:  # graphs are mutable; identity hash
         return id(self)
+
+    def __getstate__(self) -> dict:
+        # the CSR cache is an in-process accelerator, not graph state: keep
+        # pickles small and NumPy-free (worker processes rebuild on demand)
+        return {"_adj": self._adj, "_edges": self._edges, "_edge_pos": self._edge_pos}
+
+    def __setstate__(self, state: dict) -> None:
+        self._adj = state["_adj"]
+        self._edges = state["_edges"]
+        self._edge_pos = state["_edge_pos"]
+        self._csr_cache = None
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,47 @@
+"""Vectorized CSR graph-kernel engine with pluggable metric backends.
+
+The public surface is the backend registry (:mod:`repro.kernels.backend`) —
+``use_backend`` / ``resolve_backend`` / ``get_kernel`` — plus the cached CSR
+snapshot accessor :func:`repro.kernels.csr.csr_graph`.  The kernel modules
+(:mod:`~repro.kernels.bfs`, :mod:`~repro.kernels.triangles`,
+:mod:`~repro.kernels.correlations`, :mod:`~repro.kernels.betweenness`) are
+imported lazily by the registry so NumPy is only required when the CSR
+backend is actually used.
+"""
+
+from repro.kernels.backend import (
+    AUTO_THRESHOLD,
+    BACKENDS,
+    HAS_NUMPY,
+    available_backends,
+    current_backend,
+    dispatch,
+    get_kernel,
+    register_kernel,
+    resolve_backend,
+    use_backend,
+)
+
+__all__ = [
+    "AUTO_THRESHOLD",
+    "BACKENDS",
+    "HAS_NUMPY",
+    "available_backends",
+    "current_backend",
+    "dispatch",
+    "get_kernel",
+    "register_kernel",
+    "resolve_backend",
+    "use_backend",
+    "csr_graph",
+    "CSRGraph",
+]
+
+
+def __getattr__(name):
+    # CSRGraph / csr_graph need numpy; import only when asked for
+    if name in ("CSRGraph", "csr_graph"):
+        from repro.kernels import csr
+
+        return getattr(csr, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,87 @@
+"""Vectorized per-node triangle counts via sorted-neighbor intersections.
+
+For every canonical edge ``(u, v)`` (``u < v``) the triangles it closes are
+the common neighbors ``w > v`` of its endpoints — the orientation used by
+:func:`repro.graph.subgraphs.iter_triangles`, so each triangle is found
+exactly once.  The intersection of the two sorted CSR neighbor rows is done
+by binary search of the shorter row into the longer one (``np.searchsorted``),
+which vectorizes the inner loop of the classic edge-iterator algorithm.
+
+When SciPy is importable and the graph is dense enough, the counts come from
+one sparse matrix product instead — ``((A @ A) ∘ A) · 1 / 2``.  The matmul
+performs ``Σ deg²`` multiply-adds while an intersection-based sweep touches
+only ``Σ min(deg_u, deg_v)`` elements, so on heavy-tailed (scale-free)
+graphs the matmul loses by a wide margin: the kernel compares the two cost
+estimates and picks the cheaper strategy.  All strategies return the same
+exact integers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import subgraphs
+from repro.graph.simple_graph import SimpleGraph
+from repro.kernels.backend import register_kernel
+from repro.kernels.csr import csr_graph
+
+try:
+    import scipy.sparse as _sparse
+except ImportError:  # pragma: no cover - scipy is optional for the kernels
+    _sparse = None
+
+#: Use the sparse matmul only while its work estimate (Σ deg², the number of
+#: length-2 paths) stays within this factor of the intersection sweep's
+#: (Σ min(deg_u, deg_v) over edges).
+MATMUL_COST_FACTOR = 4
+
+
+def _triangles_by_intersection(csr) -> np.ndarray:
+    counts = np.zeros(csr.n, dtype=np.int64)
+    indptr, indices = csr.indptr, csr.indices
+    for u, v in zip(csr.edges_u, csr.edges_v):
+        row_u = indices[indptr[u] : indptr[u + 1]]
+        row_v = indices[indptr[v] : indptr[v + 1]]
+        if len(row_u) > len(row_v):
+            row_u, row_v = row_v, row_u
+        # only closing nodes above v: each triangle counted once
+        candidates = row_u[np.searchsorted(row_u, v, side="right") :]
+        if candidates.size == 0:
+            continue
+        positions = np.searchsorted(row_v, candidates)
+        positions[positions == len(row_v)] = 0  # out-of-range: compare to row_v[0]
+        common = candidates[row_v[positions] == candidates]
+        if common.size:
+            counts[u] += common.size
+            counts[v] += common.size
+            np.add.at(counts, common, 1)
+    return counts
+
+
+def _triangles_by_matmul(csr) -> np.ndarray:
+    ones = np.ones(len(csr.indices), dtype=np.float64)
+    adjacency = _sparse.csr_matrix((ones, csr.indices, csr.indptr), shape=(csr.n, csr.n))
+    closed = (adjacency @ adjacency).multiply(adjacency)
+    # row i sums |N(i) ∩ N(j)| over neighbors j: every triangle at i twice
+    per_node = np.asarray(closed.sum(axis=1)).ravel() / 2.0
+    return np.rint(per_node).astype(np.int64)
+
+
+@register_kernel("triangles_per_node", "csr")
+def triangles_per_node(graph: SimpleGraph) -> list[int]:
+    """Number of triangles each node participates in, indexed by node id."""
+    csr = csr_graph(graph)
+    if csr.m == 0:
+        return [0] * csr.n
+    degrees = csr.degrees
+    matmul_cost = int(np.sum(degrees * degrees))
+    sweep_cost = int(np.sum(np.minimum(degrees[csr.edges_u], degrees[csr.edges_v])))
+    if matmul_cost <= MATMUL_COST_FACTOR * sweep_cost:
+        vectorized = _triangles_by_matmul if _sparse is not None else _triangles_by_intersection
+        return [int(c) for c in vectorized(csr)]
+    # heavy-tailed degrees: the C-speed set-intersection sweep over the
+    # smaller endpoint's neighborhood does the least work
+    return subgraphs.triangles_per_node(graph)
+
+
+__all__ = ["triangles_per_node"]

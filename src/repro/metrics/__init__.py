@@ -1,5 +1,13 @@
-"""Topology metrics (Section 2 of the paper)."""
+"""Topology metrics (Section 2 of the paper).
 
+Everything here is importable without NumPy (the python metric backend);
+only the spectrum metrics hard-require SciPy, so exactly those re-exports
+are lazy (PEP 562).  The rest are eager — importantly, the ``assortativity``
+*function* must be bound on the package after the ``assortativity``
+*submodule*, or the module object would shadow it.
+"""
+
+from repro._lazy import lazy_exports
 from repro.metrics.assortativity import (
     assortativity,
     assortativity_from_likelihood,
@@ -38,14 +46,18 @@ from repro.metrics.distances import (
     distance_std,
     eccentricity,
     mean_distance,
-)
-from repro.metrics.spectrum import (
-    extreme_eigenvalues,
-    laplacian_spectrum,
-    normalized_laplacian,
-    spectral_gap,
+    sample_sources,
 )
 from repro.metrics.summary import ScalarMetrics, average_summaries, summarize
+
+_EXPORTS = {
+    "extreme_eigenvalues": "repro.metrics.spectrum",
+    "laplacian_spectrum": "repro.metrics.spectrum",
+    "normalized_laplacian": "repro.metrics.spectrum",
+    "spectral_gap": "repro.metrics.spectrum",
+}
+
+__getattr__, __dir__ = lazy_exports(__name__, _EXPORTS)
 
 __all__ = [
     "assortativity",
@@ -71,17 +83,15 @@ __all__ = [
     "max_degree",
     "power_law_exponent_mle",
     "bfs_distances",
+    "sample_sources",
     "diameter",
     "distance_distribution",
     "distance_histogram",
     "distance_std",
     "eccentricity",
     "mean_distance",
-    "extreme_eigenvalues",
-    "laplacian_spectrum",
-    "normalized_laplacian",
-    "spectral_gap",
     "ScalarMetrics",
     "average_summaries",
     "summarize",
+    *_EXPORTS,
 ]

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 from repro.graph.simple_graph import SimpleGraph
 from repro.graph.subgraphs import iter_triangles
+from repro.kernels.backend import dispatch
 
 
-def likelihood(graph: SimpleGraph) -> float:
+def likelihood(graph: SimpleGraph, *, backend: str | None = None) -> float:
     """``S = Σ_{(u,v) in E} k_u k_v``."""
-    degrees = graph.degrees()
-    return float(sum(degrees[u] * degrees[v] for u, v in graph.edges()))
+    sum_prod, _, _ = dispatch("edge_degree_moments", graph, backend)(graph)
+    return float(sum_prod)
 
 
 def s_max_upper_bound(graph: SimpleGraph) -> float:
@@ -49,21 +50,20 @@ def normalized_likelihood(graph: SimpleGraph) -> float:
     return likelihood(graph) / bound
 
 
-def assortativity(graph: SimpleGraph) -> float:
+def assortativity(graph: SimpleGraph, *, backend: str | None = None) -> float:
     """Newman's assortativity coefficient ``r`` (Pearson correlation of
-    degrees at the two ends of a randomly chosen edge)."""
+    degrees at the two ends of a randomly chosen edge).
+
+    The integer edge-degree sums come from the backend kernel; the float
+    arithmetic below is shared, so both backends return the same bits (the
+    intermediate half-sums are halves of integers, exact in binary floats).
+    """
     m = graph.number_of_edges
     if m == 0:
         return 0.0
-    degrees = graph.degrees()
-    sum_prod = 0.0
-    sum_half = 0.0
-    sum_half_sq = 0.0
-    for u, v in graph.edges():
-        ku, kv = degrees[u], degrees[v]
-        sum_prod += ku * kv
-        sum_half += 0.5 * (ku + kv)
-        sum_half_sq += 0.5 * (ku * ku + kv * kv)
+    sum_prod, sum_ends, sum_ends_sq = dispatch("edge_degree_moments", graph, backend)(graph)
+    sum_half = 0.5 * sum_ends
+    sum_half_sq = 0.5 * sum_ends_sq
     mean_half = sum_half / m
     numerator = sum_prod / m - mean_half**2
     denominator = sum_half_sq / m - mean_half**2
@@ -72,25 +72,16 @@ def assortativity(graph: SimpleGraph) -> float:
     return numerator / denominator
 
 
-def second_order_likelihood(graph: SimpleGraph) -> float:
+def second_order_likelihood(graph: SimpleGraph, *, backend: str | None = None) -> float:
     """``S2``: sum of degree products over the ends of all paths of length 2.
 
     Every pair of distinct neighbours of a centre node contributes the
     product of the two end degrees, whether or not the pair is closed into a
     triangle (closed wedges are still distance-2 correlations in the sense of
-    the paper's extreme metrics).
+    the paper's extreme metrics).  The kernel returns the integer sum over
+    *ordered* pairs; halving it here gives the unordered-pair value.
     """
-    degrees = graph.degrees()
-    total = 0.0
-    for v in graph.nodes():
-        neighbours = list(graph.neighbors(v))
-        if len(neighbours) < 2:
-            continue
-        degree_sum = sum(degrees[u] for u in neighbours)
-        degree_sq_sum = sum(degrees[u] ** 2 for u in neighbours)
-        # sum over unordered pairs of distinct neighbours of k_a * k_b
-        total += 0.5 * (degree_sum**2 - degree_sq_sum)
-    return total
+    return 0.5 * dispatch("second_order_total", graph, backend)(graph)
 
 
 def second_order_likelihood_open(graph: SimpleGraph) -> float:

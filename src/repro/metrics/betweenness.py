@@ -13,7 +13,9 @@ from __future__ import annotations
 from collections import deque
 
 from repro.graph.simple_graph import SimpleGraph
-from repro.utils.rng import RngLike, ensure_rng
+from repro.kernels.backend import dispatch, register_kernel
+from repro.metrics.distances import sample_sources
+from repro.utils.rng import RngLike
 
 
 def node_betweenness(
@@ -22,6 +24,7 @@ def node_betweenness(
     normalized: bool = True,
     sources: int | None = None,
     rng: RngLike = None,
+    backend: str | None = None,
 ) -> list[float]:
     """Betweenness centrality of every node.
 
@@ -31,21 +34,32 @@ def node_betweenness(
         Divide by the number of ordered pairs excluding the node itself,
         ``(n-1)(n-2)``, matching networkx's convention for undirected graphs.
     sources:
-        When given, only this many BFS sources are used and the result is
-        scaled by ``n / sources`` (Brandes–Pich estimator).
+        When given, only this many BFS sources are used (sampled without
+        replacement) and the result is scaled by ``n / sources``
+        (Brandes–Pich estimator).
     """
-    rng = ensure_rng(rng)
+    n = graph.number_of_nodes
+    if n == 0:
+        return []
+    source_nodes, scale_factor = sample_sources(n, sources, rng)
+    centrality = dispatch("betweenness_accumulate", graph, backend)(graph, source_nodes)
+    # each undirected pair was counted from both endpoints when all sources
+    # are used; halve to match the usual definition
+    factor = scale_factor / 2.0
+    centrality = [value * factor for value in centrality]
+    if normalized and n > 2:
+        norm = (n - 1) * (n - 2) / 2.0
+        centrality = [value / norm for value in centrality]
+    return centrality
+
+
+@register_kernel("betweenness_accumulate", "python")
+def _betweenness_accumulate_python(
+    graph: SimpleGraph, source_nodes: list[int]
+) -> list[float]:
+    """Reference Brandes accumulation: raw dependency sums per source."""
     n = graph.number_of_nodes
     centrality = [0.0] * n
-    if n == 0:
-        return centrality
-    if sources is None or sources >= n:
-        source_nodes = list(graph.nodes())
-        scale_factor = 1.0
-    else:
-        source_nodes = [int(x) for x in rng.choice(n, size=sources, replace=False)]
-        scale_factor = n / sources
-
     for s in source_nodes:
         # single-source shortest-path counting (unweighted BFS variant)
         stack: list[int] = []
@@ -73,13 +87,6 @@ def node_betweenness(
                 delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
             if w != s:
                 centrality[w] += delta[w]
-    # each undirected pair was counted from both endpoints when all sources
-    # are used; halve to match the usual definition
-    factor = scale_factor / 2.0
-    centrality = [value * factor for value in centrality]
-    if normalized and n > 2:
-        norm = (n - 1) * (n - 2) / 2.0
-        centrality = [value / norm for value in centrality]
     return centrality
 
 
@@ -89,9 +96,12 @@ def betweenness_by_degree(
     normalized: bool = True,
     sources: int | None = None,
     rng: RngLike = None,
+    backend: str | None = None,
 ) -> dict[int, float]:
     """Mean (normalized) node betweenness per node degree -- Figures 6b / 9."""
-    values = node_betweenness(graph, normalized=normalized, sources=sources, rng=rng)
+    values = node_betweenness(
+        graph, normalized=normalized, sources=sources, rng=rng, backend=backend
+    )
     sums: dict[int, float] = {}
     counts: dict[int, int] = {}
     for node in graph.nodes():

@@ -1,14 +1,21 @@
-"""Clustering metrics: local clustering, C(k), mean clustering C̄, transitivity."""
+"""Clustering metrics: local clustering, C(k), mean clustering C̄, transitivity.
+
+Per-node triangle counts dispatch through the kernel backend registry; the
+counts are exact integers on every backend, and the coefficient arithmetic
+below is shared, so clustering values are backend-independent bit for bit.
+"""
 
 from __future__ import annotations
 
 from repro.graph.simple_graph import SimpleGraph
-from repro.graph.subgraphs import triangle_count, triangles_per_node
+from repro.kernels.backend import dispatch
 
 
-def local_clustering_coefficients(graph: SimpleGraph) -> list[float]:
+def local_clustering_coefficients(
+    graph: SimpleGraph, *, backend: str | None = None
+) -> list[float]:
     """Local clustering coefficient of every node (0 for degree < 2)."""
-    triangles = triangles_per_node(graph)
+    triangles = dispatch("triangles_per_node", graph, backend)(graph)
     values = []
     for node in graph.nodes():
         k = graph.degree(node)
@@ -19,17 +26,19 @@ def local_clustering_coefficients(graph: SimpleGraph) -> list[float]:
     return values
 
 
-def mean_clustering(graph: SimpleGraph) -> float:
+def mean_clustering(graph: SimpleGraph, *, backend: str | None = None) -> float:
     """``C̄``: mean of the local clustering coefficients over all nodes."""
     n = graph.number_of_nodes
     if n == 0:
         return 0.0
-    return sum(local_clustering_coefficients(graph)) / n
+    return sum(local_clustering_coefficients(graph, backend=backend)) / n
 
 
-def clustering_by_degree(graph: SimpleGraph) -> dict[int, float]:
+def clustering_by_degree(
+    graph: SimpleGraph, *, backend: str | None = None
+) -> dict[int, float]:
     """``C(k)``: mean local clustering of k-degree nodes (k >= 2)."""
-    coefficients = local_clustering_coefficients(graph)
+    coefficients = local_clustering_coefficients(graph, backend=backend)
     sums: dict[int, float] = {}
     counts: dict[int, int] = {}
     for node in graph.nodes():
@@ -41,12 +50,14 @@ def clustering_by_degree(graph: SimpleGraph) -> dict[int, float]:
     return {k: sums[k] / counts[k] for k in sorted(sums)}
 
 
-def transitivity(graph: SimpleGraph) -> float:
+def transitivity(graph: SimpleGraph, *, backend: str | None = None) -> float:
     """Global transitivity ``3 * triangles / (number of connected triples)``."""
     triples = sum(k * (k - 1) // 2 for k in graph.degrees())
     if triples == 0:
         return 0.0
-    return 3.0 * triangle_count(graph) / triples
+    # each triangle is counted once per member node
+    triangle_total = sum(dispatch("triangles_per_node", graph, backend)(graph)) // 3
+    return 3.0 * triangle_total / triples
 
 
 __all__ = [

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from repro.graph.simple_graph import SimpleGraph
 
 
@@ -61,8 +59,8 @@ def power_law_exponent_mle(graph: SimpleGraph, k_min: int = 1) -> float:
     degrees = [k for k in graph.degrees() if k >= k_min]
     if len(degrees) < 2:
         return math.nan
-    shifted = np.array(degrees, dtype=float) / (k_min - 0.5)
-    return 1.0 + len(degrees) / float(np.sum(np.log(shifted)))
+    log_sum = math.fsum(math.log(k / (k_min - 0.5)) for k in degrees)
+    return 1.0 + len(degrees) / log_sum
 
 
 __all__ = [

@@ -2,8 +2,14 @@
 
 The distance distribution is the fraction of node pairs at each hop distance
 (the paper normalizes by ``n²`` with self-pairs included, so ``d(0) = 1/n``).
-All computations run plain BFS sweeps over the adjacency structure; for large
-graphs a uniformly sampled subset of source nodes can be used.
+The BFS sweep dispatches through the kernel backend registry
+(:mod:`repro.kernels.backend`): the pure-Python queue BFS below, or the
+vectorized frontier BFS of :mod:`repro.kernels.bfs` — both produce the exact
+same integer pair counts, so every derived float is backend-independent.
+For large graphs a uniformly sampled subset of source nodes can be used;
+sources are always drawn **without replacement** (duplicate sources would
+double-count their rows of the distance matrix and skew d(x)) and the sample
+is clamped to the node count.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import math
 from collections import deque
 
 from repro.graph.simple_graph import SimpleGraph
+from repro.kernels.backend import dispatch, register_kernel
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -30,35 +37,55 @@ def bfs_distances(graph: SimpleGraph, source: int) -> list[int]:
     return distances
 
 
-def distance_histogram(
-    graph: SimpleGraph,
-    *,
-    sources: int | None = None,
-    rng: RngLike = None,
-) -> dict[int, int]:
-    """Counts of ordered node pairs at each hop distance.
-
-    When ``sources`` is given, that many BFS sources are sampled uniformly at
-    random and the counts are scaled up to the full graph (the estimator used
-    for the larger AS topologies).  Unreachable pairs are excluded.
-    Self-pairs (distance 0) are included, following the paper's convention.
-    """
-    rng = ensure_rng(rng)
-    n = graph.number_of_nodes
-    if n == 0:
-        return {}
-    if sources is None or sources >= n:
-        source_nodes = list(graph.nodes())
-        scale = 1.0
-    else:
-        source_nodes = [int(x) for x in rng.choice(n, size=sources, replace=False)]
-        scale = n / sources
+@register_kernel("bfs_histogram", "python")
+def _bfs_histogram_python(graph: SimpleGraph, source_nodes: list[int]) -> dict[int, int]:
+    """Reference BFS sweep: per-source queue BFS, counts per hop distance."""
     histogram: dict[int, int] = {}
     for source in source_nodes:
         for distance in bfs_distances(graph, source):
             if distance < 0:
                 continue
             histogram[distance] = histogram.get(distance, 0) + 1
+    return histogram
+
+
+def sample_sources(n: int, sources: int | None, rng: RngLike = None) -> tuple[list[int], float]:
+    """BFS source nodes and the pair-count scale factor ``n / len(sources)``.
+
+    ``sources=None`` (or any value >= n) selects every node exactly once.
+    Otherwise ``sources`` distinct nodes are drawn uniformly **without
+    replacement** — a duplicated source would count its whole BFS row twice,
+    biasing the estimated d(x) on small graphs.
+    """
+    if sources is not None and sources <= 0:
+        raise ValueError(f"sources must be positive, got {sources}")
+    if sources is None or sources >= n:
+        return list(range(n)), 1.0
+    rng = ensure_rng(rng)
+    chosen = rng.choice(n, size=sources, replace=False)
+    return [int(x) for x in chosen], n / sources
+
+
+def distance_histogram(
+    graph: SimpleGraph,
+    *,
+    sources: int | None = None,
+    rng: RngLike = None,
+    backend: str | None = None,
+) -> dict[int, int]:
+    """Counts of ordered node pairs at each hop distance.
+
+    When ``sources`` is given, that many BFS sources are sampled uniformly at
+    random (without replacement, clamped to n) and the counts are scaled up
+    to the full graph (the estimator used for the larger AS topologies).
+    Unreachable pairs are excluded.  Self-pairs (distance 0) are included,
+    following the paper's convention.
+    """
+    n = graph.number_of_nodes
+    if n == 0:
+        return {}
+    source_nodes, scale = sample_sources(n, sources, rng)
+    histogram = dispatch("bfs_histogram", graph, backend)(graph, source_nodes)
     if scale != 1.0:
         histogram = {d: int(round(c * scale)) for d, c in histogram.items()}
     return histogram
@@ -69,13 +96,14 @@ def distance_distribution(
     *,
     sources: int | None = None,
     rng: RngLike = None,
+    backend: str | None = None,
 ) -> dict[int, float]:
     """Normalized distance distribution ``d(x)`` (the paper's PDF plots).
 
     Normalized over reachable ordered pairs including self-pairs, so the
     values sum to one for a connected graph.
     """
-    histogram = distance_histogram(graph, sources=sources, rng=rng)
+    histogram = distance_histogram(graph, sources=sources, rng=rng, backend=backend)
     total = sum(histogram.values())
     if total == 0:
         return {}
@@ -88,9 +116,10 @@ def mean_distance(
     sources: int | None = None,
     rng: RngLike = None,
     include_self_pairs: bool = False,
+    backend: str | None = None,
 ) -> float:
     """Average shortest-path distance ``d̄`` over reachable pairs."""
-    histogram = distance_histogram(graph, sources=sources, rng=rng)
+    histogram = distance_histogram(graph, sources=sources, rng=rng, backend=backend)
     if not include_self_pairs:
         histogram = {d: c for d, c in histogram.items() if d > 0}
     total = sum(histogram.values())
@@ -105,9 +134,10 @@ def distance_std(
     sources: int | None = None,
     rng: RngLike = None,
     include_self_pairs: bool = False,
+    backend: str | None = None,
 ) -> float:
     """Standard deviation ``σ_d`` of the distance distribution."""
-    histogram = distance_histogram(graph, sources=sources, rng=rng)
+    histogram = distance_histogram(graph, sources=sources, rng=rng, backend=backend)
     if not include_self_pairs:
         histogram = {d: c for d, c in histogram.items() if d > 0}
     total = sum(histogram.values())
@@ -118,9 +148,15 @@ def distance_std(
     return math.sqrt(variance)
 
 
-def diameter(graph: SimpleGraph, *, sources: int | None = None, rng: RngLike = None) -> int:
+def diameter(
+    graph: SimpleGraph,
+    *,
+    sources: int | None = None,
+    rng: RngLike = None,
+    backend: str | None = None,
+) -> int:
     """Largest finite hop distance observed (the graph diameter when exact)."""
-    histogram = distance_histogram(graph, sources=sources, rng=rng)
+    histogram = distance_histogram(graph, sources=sources, rng=rng, backend=backend)
     return max(histogram, default=0)
 
 
@@ -131,6 +167,7 @@ def eccentricity(graph: SimpleGraph, source: int) -> int:
 
 __all__ = [
     "bfs_distances",
+    "sample_sources",
     "distance_histogram",
     "distance_distribution",
     "mean_distance",

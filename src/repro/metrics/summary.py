@@ -28,7 +28,6 @@ from repro.graph.simple_graph import SimpleGraph
 from repro.metrics.assortativity import assortativity, likelihood, second_order_likelihood
 from repro.metrics.clustering import mean_clustering
 from repro.metrics.distances import distance_std, mean_distance
-from repro.metrics.spectrum import extreme_eigenvalues
 from repro.utils.rng import RngLike
 
 
@@ -60,6 +59,7 @@ def summarize(
     distance_sources: int | None = None,
     compute_spectrum: bool = True,
     rng: RngLike = None,
+    backend: str | None = None,
 ) -> ScalarMetrics:
     """Compute the scalar-metric summary of ``graph``.
 
@@ -75,9 +75,17 @@ def summarize(
     compute_spectrum:
         Skip the Laplacian eigenvalues (the most expensive part for large
         graphs) when false; the two fields are then reported as 0.
+    backend:
+        Kernel backend for the heavy metrics ("python" or "csr"; see
+        :mod:`repro.kernels.backend`).  The summary values are identical on
+        every backend, so this is a pure performance knob — it must never be
+        part of a result cache key.
     """
     target = giant_component(graph) if use_giant_component else graph
     if compute_spectrum:
+        # deferred so the summary (and its callers) import without scipy
+        from repro.metrics.spectrum import extreme_eigenvalues
+
         lambda_1, lambda_n_1 = extreme_eigenvalues(target)
     else:
         lambda_1, lambda_n_1 = 0.0, 0.0
@@ -85,12 +93,12 @@ def summarize(
         nodes=target.number_of_nodes,
         edges=target.number_of_edges,
         average_degree=target.average_degree(),
-        assortativity=assortativity(target),
-        mean_clustering=mean_clustering(target),
-        mean_distance=mean_distance(target, sources=distance_sources, rng=rng),
-        distance_std=distance_std(target, sources=distance_sources, rng=rng),
-        likelihood=likelihood(target),
-        second_order_likelihood=second_order_likelihood(target),
+        assortativity=assortativity(target, backend=backend),
+        mean_clustering=mean_clustering(target, backend=backend),
+        mean_distance=mean_distance(target, sources=distance_sources, rng=rng, backend=backend),
+        distance_std=distance_std(target, sources=distance_sources, rng=rng, backend=backend),
+        likelihood=likelihood(target, backend=backend),
+        second_order_likelihood=second_order_likelihood(target, backend=backend),
         lambda_1=lambda_1,
         lambda_n_1=lambda_n_1,
     )

@@ -114,12 +114,18 @@ def memoized_summarize(
     compute_spectrum: bool = True,
     rng: RngLike = None,
     read: bool = True,
+    backend: str | None = None,
 ) -> ScalarMetrics:
     """Compute (or load) the scalar-metric summary of ``graph``.
 
     ``graph_hash`` may be supplied when the caller already knows the content
     hash (saves re-canonicalizing the graph).  ``read=False`` skips the
     lookup (forced recomputation) while still writing the result.
+
+    ``backend`` selects the kernel backend for the computation only: both
+    backends produce bit-identical summaries, so it is deliberately **not**
+    part of the cache key — a summary computed with CSR kernels is served to
+    pure-Python runs and vice versa.
     """
     if store is None:
         return summarize(
@@ -128,6 +134,7 @@ def memoized_summarize(
             distance_sources=distance_sources,
             compute_spectrum=compute_spectrum,
             rng=rng,
+            backend=backend,
         )
     if graph_hash is None:
         graph_hash = graph_content_hash(graph)
@@ -146,6 +153,7 @@ def memoized_summarize(
         distance_sources=distance_sources,
         compute_spectrum=compute_spectrum,
         rng=rng,
+        backend=backend,
     )
     store.put_metric(
         key,
