@@ -1,0 +1,148 @@
+"""Rewiring-engine benchmark: python vs vectorized engine on the chains.
+
+Measures accepted-moves/sec of the dK-preserving randomizing chains
+(d = 0..3) and the 2K-targeting Metropolis chain on skitter-like AS
+topologies at n ∈ {1k, 5k}, once per engine, recording every timing plus the
+derived speedups into BENCH_results.json (like ``bench_kernels.py``).
+
+The acceptance bar of the vectorized engine is asserted here: >= 10x
+accepted-moves/sec over the python engine for 1K and 2K randomization from
+n = 5k up.  (The 3K chains are dominated by the shared per-move
+wedge/triangle delta computation, so their speedup is structural but
+smaller; it is recorded, not asserted.)
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._common import AS_SEED, record_result
+from repro.core.extraction import joint_degree_distribution
+from repro.generators.rewiring.preserving import randomize_1k
+from repro.generators.rewiring.targeting import target_2k_from_1k
+from repro.kernels.backend import get_kernel
+from repro.topologies.as_level import synthetic_as_topology
+
+SIZES = (1000, 5000)
+
+#: d -> (accepted-move multiplier, attempt budget factor); the 3K chain uses
+#: a deliberately small budget — acceptable moves are rare and the budget,
+#: not the target, is the binding limit (Table 5 of the paper).
+CHAIN_BUDGETS = {0: (10.0, 50), 1: (10.0, 50), 2: (10.0, 50), 3: (0.3, 3)}
+
+_GRAPHS: dict[int, object] = {}
+_TARGET_SEEDS: dict[int, object] = {}
+
+#: accepted-moves/sec keyed by (chain, n, engine), for the speedup rows.
+_RATES: dict[tuple[str, int, str], float] = {}
+
+
+def _graph(n):
+    if n not in _GRAPHS:
+        _GRAPHS[n] = synthetic_as_topology(n, rng=AS_SEED)
+    return _GRAPHS[n]
+
+
+def _target_seed_graph(n):
+    """A 1K-randomized copy whose JDD the targeting chain pushes back."""
+    if n not in _TARGET_SEEDS:
+        _TARGET_SEEDS[n] = randomize_1k(_graph(n), rng=1, multiplier=3, backend="csr")
+    return _TARGET_SEEDS[n]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_engines():
+    """Import both engine modules outside the timed regions."""
+    get_kernel("rewire_randomize", "python")
+    get_kernel("rewire_randomize", "csr")
+    get_kernel("rewire_target_2k", "python")
+    get_kernel("rewire_target_2k", "csr")
+
+
+def _run_randomizing(d, graph, backend):
+    multiplier, attempt_factor = CHAIN_BUDGETS[d]
+    stats: dict = {}
+    kernel = get_kernel("rewire_randomize", backend)
+    kernel(
+        graph,
+        d,
+        rng=1,
+        multiplier=multiplier,
+        max_attempt_factor=attempt_factor,
+        stats=stats,
+    )
+    return stats["accepted_moves"]
+
+
+def _run_targeting(graph, seed_graph, backend):
+    target = joint_degree_distribution(graph)
+    result = target_2k_from_1k(
+        seed_graph,
+        target,
+        rng=2,
+        max_attempts=5 * graph.number_of_edges,
+        backend=backend,
+    )
+    return result.accepted_moves
+
+
+@pytest.mark.filterwarnings("ignore::repro.exceptions.RewiringConvergenceWarning")
+@pytest.mark.parametrize("backend", ("python", "csr"))
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("chain", ("d0", "d1", "d2", "d3", "target2k"))
+def test_rewiring_engine(benchmark, chain, n, backend):
+    graph = _graph(n)
+    if chain == "target2k":
+        seed_graph = _target_seed_graph(n)
+        runner = lambda: _run_targeting(graph, seed_graph, backend)  # noqa: E731
+    else:
+        d = int(chain[1])
+        runner = lambda: _run_randomizing(d, graph, backend)  # noqa: E731
+    start = time.perf_counter()
+    accepted = benchmark.pedantic(runner, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
+    rate = accepted / max(wall, 1e-9)
+    _RATES[(chain, n, backend)] = rate
+    record_result(
+        f"rewiring_{chain}_n{n}_{backend}",
+        wall,
+        n=graph.number_of_nodes,
+        m=graph.number_of_edges,
+    )
+    record_result(
+        f"rewiring_moves_per_sec_{chain}_n{n}_{backend}",
+        rate,
+        n=graph.number_of_nodes,
+        m=graph.number_of_edges,
+    )
+    assert accepted > 0
+
+
+def test_rewiring_engine_speedups():
+    """Derive speedup rows; assert the >= 10x 1K/2K acceptance bar at n >= 5k."""
+    rows = []
+    for (chain, n, backend), rate in sorted(_RATES.items()):
+        if backend != "python" or (chain, n, "csr") not in _RATES:
+            continue
+        speedup = _RATES[(chain, n, "csr")] / max(rate, 1e-9)
+        graph = _graph(n)
+        record_result(
+            f"rewiring_speedup_{chain}_n{n}",
+            speedup,
+            n=graph.number_of_nodes,
+            m=graph.number_of_edges,
+        )
+        rows.append((chain, n, speedup))
+        print(f"{chain} n={n}: vectorized engine {speedup:.1f}x faster (accepted moves/sec)")
+    gated = {
+        (chain, n): speedup
+        for chain, n, speedup in rows
+        if chain in ("d1", "d2") and n >= 5000
+    }
+    assert gated, "the 1K/2K benchmarks did not run at n >= 5000"
+    for (chain, n), speedup in gated.items():
+        assert speedup >= 10.0, (
+            f"vectorized {chain} rewiring only {speedup:.1f}x faster at n={n} (need >= 10x)"
+        )

@@ -8,7 +8,10 @@ Experiment pipeline:
   metrics; optionally write the 2K-distribution (JDD) to a file.
 * ``gen``     -- generate a dK-random graph, either from an input graph or
   from a JDD file, with any registered construction algorithm, optionally
-  rescaled to a different size.
+  rescaled to a different size; ``--backend`` picks the rewiring engine
+  (pure-Python loops vs the vectorized batch engine), and a chain that
+  stops before convergence is reported on stderr instead of silently
+  returning.
 * ``compare`` -- compare two graphs: dK distances and scalar metrics side by
   side.
 * ``methods`` -- list the construction algorithms in the generator registry.
@@ -68,14 +71,35 @@ def _method_choices() -> tuple[str, ...]:
 
 
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
-    """The shared ``--backend`` knob (kernel backend for the scalar metrics)."""
+    """The shared ``--backend`` knob (metric kernels and rewiring engine)."""
     parser.add_argument(
         "--backend",
         default=None,
         choices=("python", "csr", "auto"),
-        help="metric kernel backend: pure-Python loops, vectorized NumPy CSR "
-        "kernels, or size-based auto-selection (default; results are "
-        "identical either way)",
+        help="kernel backend for metrics and the rewiring engine for "
+        "chain-based generation: pure-Python loops, vectorized NumPy "
+        "kernels, or size-based auto-selection (default); metric values are "
+        "identical either way and every engine preserves the dK-invariants "
+        "exactly",
+    )
+
+
+def _warn_unconverged_chain(stats: dict, *, prefix: str = "") -> None:
+    """Print the visible non-convergence note for one chain's stats."""
+    if stats.get("converged") is not False:
+        return
+    if "distance" in stats:
+        detail = f"distance {stats['distance']:g} from the target distribution"
+    else:
+        detail = (
+            f"accepted {stats.get('accepted_moves', '?')} of "
+            f"{stats.get('target_moves', '?')} rewiring moves"
+        )
+    print(
+        f"WARNING: {prefix}chain stopped before convergence "
+        f"({detail} after {stats.get('attempted_moves', '?')} attempts); "
+        "the output may be insufficiently randomized",
+        file=sys.stderr,
     )
 
 
@@ -132,6 +156,7 @@ def dkgen_main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--rescale", type=int, help="rescale to this many nodes (JDD input)")
     parser.add_argument("--seed", type=int, default=None, help="random seed")
+    _add_backend_argument(parser)
     parser.add_argument("-o", "--output", required=True, help="output edge-list file")
     args = parser.parse_args(argv)
 
@@ -141,7 +166,14 @@ def dkgen_main(argv: list[str] | None = None) -> int:
     if args.input:
         method = args.method or "rewiring"
         original = _load_graph(args.input)
-        result = dk_random_graph(original, args.d, method=method, rng=args.seed, return_result=True)
+        result = dk_random_graph(
+            original,
+            args.d,
+            method=method,
+            rng=args.seed,
+            backend=args.backend,
+            return_result=True,
+        )
         generated = result.graph
     else:
         method = args.method or "pseudograph"
@@ -157,7 +189,7 @@ def dkgen_main(argv: list[str] | None = None) -> int:
         jdd = JointDegreeDistribution(read_jdd(args.jdd))
         if args.rescale:
             jdd = rescale_jdd(jdd, args.rescale, rng=args.seed)
-        result = spec.build(jdd, 2, rng=args.seed)
+        result = spec.build(jdd, 2, rng=args.seed, backend=args.backend)
         generated = result.graph
 
     write_edge_list(generated, args.output)
@@ -165,6 +197,7 @@ def dkgen_main(argv: list[str] | None = None) -> int:
         f"wrote {generated.number_of_nodes} nodes / {generated.number_of_edges} edges "
         f"to {args.output} ({result.method}, d={result.d}, {result.wall_time:.3f}s)"
     )
+    _warn_unconverged_chain(result.stats, prefix=f"the {result.method} ")
     return 0
 
 
@@ -318,6 +351,12 @@ def run_experiment_main(argv: list[str] | None = None) -> int:
                 f"{result.workers} worker(s), {result.wall_time:.2f}s{cached}",
             )
         )
+        for record in result.records:
+            _warn_unconverged_chain(
+                record.stats,
+                prefix=f"{record.topology} / {record.method} "
+                f"d={record.d} replicate={record.replicate}: the ",
+            )
         if spec.include_original:
             for topology in result.topology_labels():
                 generated = [

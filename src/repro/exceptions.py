@@ -31,6 +31,16 @@ class StoreError(ReproError):
     """Raised for corrupt or inconsistent artifact-store contents."""
 
 
+class RewiringConvergenceWarning(RuntimeWarning):
+    """Emitted when a rewiring Markov chain exhausts its attempt budget.
+
+    The returned graph is still a valid dK-graph (every accepted move
+    preserved the invariants), but it performed fewer accepted moves than the
+    mixing target — it may be insufficiently randomized, or a targeting chain
+    may have stopped short of its target distribution.
+    """
+
+
 __all__ = [
     "ReproError",
     "GraphError",
@@ -39,4 +49,5 @@ __all__ = [
     "ConvergenceError",
     "ExperimentError",
     "StoreError",
+    "RewiringConvergenceWarning",
 ]

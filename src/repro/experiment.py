@@ -117,11 +117,13 @@ class ExperimentSpec:
         Per-method extra keyword arguments, e.g.
         ``{"rewiring": {"multiplier": 5.0}}``.
     backend:
-        Kernel backend for the scalar metrics ("python", "csr" or "auto";
-        see :mod:`repro.kernels.backend`).  Metric values are identical on
-        every backend, so the backend is deliberately **not** part of any
-        store cache key: results computed by one backend are served to runs
-        using the other.
+        Kernel backend for the scalar metrics *and* the rewiring engine for
+        chain-based generation ("python", "csr" or "auto"; see
+        :mod:`repro.kernels.backend`).  Metric values are identical on every
+        backend and generated graphs are per-seed deterministic and
+        invariant-exact on every engine, so the backend is deliberately
+        **not** part of any store cache key: results computed by one backend
+        are served to runs using the other.
     """
 
     topologies: Sequence[Any]
@@ -166,6 +168,13 @@ class ExperimentSpec:
             raise ExperimentError(
                 f"backend must be 'python', 'csr' or 'auto', got {self.backend!r}"
             )
+        for method, options in self.generator_options.items():
+            if "backend" in options:
+                raise ExperimentError(
+                    f"generator_options[{method!r}] must not set 'backend': the "
+                    "engine is an execution knob excluded from store cache keys "
+                    "— use ExperimentSpec(backend=...) instead"
+                )
 
     def topology_label(self, index: int) -> str:
         """Stable label of the ``index``-th topology entry."""
@@ -516,11 +525,16 @@ def _execute_cell(
                 options=options,
                 source_hash=topology_hash,
                 read=read_cache,
+                backend=spec.backend,
             )
             graph_key = generation_key(cell.method, options, cell.seed, topology_hash, d=cell.d)
         else:
             generated = generator.build(
-                original, cell.d, rng=np.random.default_rng(cell.seed), **options
+                original,
+                cell.d,
+                rng=np.random.default_rng(cell.seed),
+                backend=spec.backend,
+                **options,
             )
         graph = generated.graph
         graph_hash = generated.content_hash  # set iff a store was involved

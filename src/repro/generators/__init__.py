@@ -3,89 +3,76 @@
 The construction-algorithm families are catalogued in
 :mod:`repro.generators.registry`; use :func:`available_generators` to list
 them and :func:`register_generator` to plug in new ones.
+
+Exports are lazy (PEP 562, like the other ``repro`` packages): the rewiring
+engines' pure-Python path (``dk_randomize`` and friends with
+``backend="python"``) works on a bare interpreter, while the NumPy-dependent
+families are only imported when first accessed.
 """
 
-from repro.generators import matching, pseudograph, stochastic
-from repro.generators.exploration import (
-    ExplorationResult,
-    explore_1k_likelihood,
-    explore_2k,
-    extreme_metric_gap,
-    likelihood,
-)
-from repro.generators.matching import matching_1k, matching_2k
-from repro.generators.pseudograph import pseudograph_1k, pseudograph_2k
-from repro.generators.rewiring.counting import (
-    RewiringCounts,
-    count_dk_rewirings,
-    rewiring_count_table,
-)
-from repro.generators.rewiring.preserving import (
-    dk_randomize,
-    randomize_0k,
-    randomize_1k,
-    randomize_2k,
-    randomize_3k,
-    verify_randomization_converged,
-)
-from repro.generators.registry import (
-    GenerationResult,
-    GeneratorInputError,
-    GeneratorSpec,
-    UnknownGeneratorError,
-    UnsupportedLevelError,
-    available_generators,
-    get_generator,
-    register_generator,
-)
-from repro.generators.rewiring.targeting import (
-    TargetingResult,
-    dk_targeting_construct,
-    dk_targeting_result,
-    target_2k_from_1k,
-    target_3k_from_2k,
-)
-from repro.generators.stochastic import stochastic_0k, stochastic_1k, stochastic_2k
-from repro.generators.threek import ThreeKDelta, ThreeKTracker
+from repro._lazy import lazy_exports
 
-__all__ = [
+_EXPORTS = {
+    "stochastic_0k": "repro.generators.stochastic",
+    "stochastic_1k": "repro.generators.stochastic",
+    "stochastic_2k": "repro.generators.stochastic",
+    "pseudograph_1k": "repro.generators.pseudograph",
+    "pseudograph_2k": "repro.generators.pseudograph",
+    "matching_1k": "repro.generators.matching",
+    "matching_2k": "repro.generators.matching",
+    "dk_randomize": "repro.generators.rewiring.preserving",
+    "randomize_0k": "repro.generators.rewiring.preserving",
+    "randomize_1k": "repro.generators.rewiring.preserving",
+    "randomize_2k": "repro.generators.rewiring.preserving",
+    "randomize_3k": "repro.generators.rewiring.preserving",
+    "verify_randomization_converged": "repro.generators.rewiring.preserving",
+    "GenerationResult": "repro.generators.registry",
+    "GeneratorSpec": "repro.generators.registry",
+    "GeneratorInputError": "repro.generators.registry",
+    "UnknownGeneratorError": "repro.generators.registry",
+    "UnsupportedLevelError": "repro.generators.registry",
+    "available_generators": "repro.generators.registry",
+    "get_generator": "repro.generators.registry",
+    "register_generator": "repro.generators.registry",
+    "TargetingResult": "repro.generators.rewiring.targeting",
+    "target_2k_from_1k": "repro.generators.rewiring.targeting",
+    "target_3k_from_2k": "repro.generators.rewiring.targeting",
+    "dk_targeting_construct": "repro.generators.rewiring.targeting",
+    "dk_targeting_result": "repro.generators.rewiring.targeting",
+    "RewiringCounts": "repro.generators.rewiring.counting",
+    "count_dk_rewirings": "repro.generators.rewiring.counting",
+    "rewiring_count_table": "repro.generators.rewiring.counting",
+    "ExplorationResult": "repro.generators.exploration",
+    "explore_1k_likelihood": "repro.generators.exploration",
+    "explore_2k": "repro.generators.exploration",
+    "extreme_metric_gap": "repro.generators.exploration",
+    "likelihood": "repro.generators.exploration",
+    "ThreeKDelta": "repro.generators.threek",
+    "ThreeKTracker": "repro.generators.threek",
+}
+
+#: Submodules reachable as attributes (``repro.generators.registry`` etc.) —
+#: everything the eager imports used to bind on the package.
+_SUBMODULES = (
+    "baselines",
+    "exploration",
     "matching",
     "pseudograph",
+    "registry",
+    "rewiring",
     "stochastic",
-    "stochastic_0k",
-    "stochastic_1k",
-    "stochastic_2k",
-    "pseudograph_1k",
-    "pseudograph_2k",
-    "matching_1k",
-    "matching_2k",
-    "dk_randomize",
-    "randomize_0k",
-    "randomize_1k",
-    "randomize_2k",
-    "randomize_3k",
-    "verify_randomization_converged",
-    "GenerationResult",
-    "GeneratorSpec",
-    "GeneratorInputError",
-    "UnknownGeneratorError",
-    "UnsupportedLevelError",
-    "available_generators",
-    "get_generator",
-    "register_generator",
-    "TargetingResult",
-    "target_2k_from_1k",
-    "target_3k_from_2k",
-    "dk_targeting_construct",
-    "dk_targeting_result",
-    "RewiringCounts",
-    "count_dk_rewirings",
-    "rewiring_count_table",
-    "ExplorationResult",
-    "explore_1k_likelihood",
-    "explore_2k",
-    "extreme_metric_gap",
-    "likelihood",
-    "ThreeKDelta",
-    "ThreeKTracker",
-]
+    "threek",
+)
+
+__all__ = [*_SUBMODULES, *_EXPORTS]
+
+_lazy_getattr, __dir__ = lazy_exports(__name__, _EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _SUBMODULES:
+        # importing the submodule binds it on this package as a side effect
+        import importlib
+
+        return importlib.import_module(f"repro.generators.{name}")
+    return _lazy_getattr(name)

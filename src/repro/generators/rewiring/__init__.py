@@ -1,61 +1,54 @@
-"""Rewiring-based dK-graph construction: preserving, targeting, counting."""
+"""Rewiring-based dK-graph construction: preserving, targeting, counting.
 
-from repro.generators.rewiring.counting import (
-    RewiringCounts,
-    count_dk_rewirings,
-    rewiring_count_table,
-)
-from repro.generators.rewiring.preserving import (
-    dk_randomize,
-    randomize_0k,
-    randomize_1k,
-    randomize_2k,
-    randomize_3k,
-    verify_randomization_converged,
-)
-from repro.generators.rewiring.swaps import (
-    EdgeEndIndex,
-    Swap,
-    double_swap_is_valid,
-    jdd_delta_of_double_swap,
-    jdd_delta_of_swap,
-    make_double_swap,
-    propose_0k_move,
-    propose_1k_swap,
-    propose_2k_swap,
-)
-from repro.generators.rewiring.targeting import (
-    TargetingResult,
-    constant_temperature,
-    dk_targeting_construct,
-    geometric_cooling,
-    target_2k_from_1k,
-    target_3k_from_2k,
-)
+Exports are lazy (PEP 562) so the pure-Python rewiring engine is importable
+on a bare interpreter; the targeting chains additionally need NumPy for
+their matching-based bootstrap.
+"""
 
-__all__ = [
-    "RewiringCounts",
-    "count_dk_rewirings",
-    "rewiring_count_table",
-    "dk_randomize",
-    "randomize_0k",
-    "randomize_1k",
-    "randomize_2k",
-    "randomize_3k",
-    "verify_randomization_converged",
-    "EdgeEndIndex",
-    "Swap",
-    "double_swap_is_valid",
-    "jdd_delta_of_double_swap",
-    "jdd_delta_of_swap",
-    "make_double_swap",
-    "propose_0k_move",
-    "propose_1k_swap",
-    "propose_2k_swap",
-    "TargetingResult",
-    "constant_temperature",
-    "geometric_cooling",
-    "dk_targeting_construct",
-    "target_2k_from_1k",
-    "target_3k_from_2k",
-]
+from repro._lazy import lazy_exports
+
+_EXPORTS = {
+    "RewiringCounts": "repro.generators.rewiring.counting",
+    "count_dk_rewirings": "repro.generators.rewiring.counting",
+    "rewiring_count_table": "repro.generators.rewiring.counting",
+    "dk_randomize": "repro.generators.rewiring.preserving",
+    "randomize_0k": "repro.generators.rewiring.preserving",
+    "randomize_1k": "repro.generators.rewiring.preserving",
+    "randomize_2k": "repro.generators.rewiring.preserving",
+    "randomize_3k": "repro.generators.rewiring.preserving",
+    "verify_randomization_converged": "repro.generators.rewiring.preserving",
+    "EdgeEndIndex": "repro.generators.rewiring.swaps",
+    "Swap": "repro.generators.rewiring.swaps",
+    "double_swap_is_valid": "repro.generators.rewiring.swaps",
+    "jdd_delta_of_double_swap": "repro.generators.rewiring.swaps",
+    "jdd_delta_of_swap": "repro.generators.rewiring.swaps",
+    "make_double_swap": "repro.generators.rewiring.swaps",
+    "propose_0k_move": "repro.generators.rewiring.swaps",
+    "propose_1k_swap": "repro.generators.rewiring.swaps",
+    "propose_2k_swap": "repro.generators.rewiring.swaps",
+    "record_chain_stats": "repro.generators.rewiring.chain",
+    "warn_not_converged": "repro.generators.rewiring.chain",
+    "TargetingResult": "repro.generators.rewiring.targeting",
+    "constant_temperature": "repro.generators.rewiring.targeting",
+    "geometric_cooling": "repro.generators.rewiring.targeting",
+    "dk_targeting_construct": "repro.generators.rewiring.targeting",
+    "dk_targeting_result": "repro.generators.rewiring.targeting",
+    "target_2k_from_1k": "repro.generators.rewiring.targeting",
+    "target_3k_from_2k": "repro.generators.rewiring.targeting",
+}
+
+#: Submodules reachable as attributes, as the eager imports used to bind.
+_SUBMODULES = ("chain", "counting", "preserving", "swaps", "targeting")
+
+__all__ = [*_SUBMODULES, *_EXPORTS]
+
+_lazy_getattr, __dir__ = lazy_exports(__name__, _EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _SUBMODULES:
+        # importing the submodule binds it on this package as a side effect
+        import importlib
+
+        return importlib.import_module(f"repro.generators.rewiring.{name}")
+    return _lazy_getattr(name)

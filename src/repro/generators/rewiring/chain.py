@@ -1,0 +1,66 @@
+"""Shared bookkeeping for the rewiring chain drivers.
+
+Both rewiring engines (the pure-Python per-move loops and the vectorized
+batch engine in :mod:`repro.kernels.rewiring`) report their outcome through
+the helpers here, so the stats dictionaries are identical across engines
+and a chain that exhausts its attempt budget is surfaced the same way
+everywhere: a :class:`~repro.exceptions.RewiringConvergenceWarning` from the
+driver itself, instead of a silently dropped caller-opt-in stats dict.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.exceptions import RewiringConvergenceWarning
+
+#: Proposals drawn per vectorized batch.  A pure performance knob: the
+#: vectorized engine consumes each random stream per-proposal, so the chain's
+#: output is identical for every batch size.
+DEFAULT_BATCH_SIZE = 4096
+
+
+def record_chain_stats(
+    stats: dict | None,
+    *,
+    label: str,
+    target: int,
+    accepted: int,
+    attempted: int,
+    converged: bool | None = None,
+    warn: bool = True,
+    stacklevel: int = 3,
+) -> None:
+    """Fill the caller-supplied ``stats`` dict and warn on non-convergence.
+
+    ``converged`` defaults to "the accepted-move target was reached"; the
+    targeting chains pass their own flag (distance-to-target is zero).  The
+    warning fires regardless of whether a ``stats`` dict was supplied — the
+    driver, not the caller, owns convergence reporting.
+    """
+    if converged is None:
+        converged = accepted >= target
+    if stats is not None:
+        stats["target_moves"] = target
+        stats["accepted_moves"] = accepted
+        stats["attempted_moves"] = attempted
+        stats["converged"] = converged
+    if warn and not converged:
+        warn_not_converged(
+            label,
+            f"accepted {accepted}/{target} moves in {attempted} attempts",
+            stacklevel=stacklevel + 1,
+        )
+
+
+def warn_not_converged(label: str, detail: str, *, stacklevel: int = 3) -> None:
+    """Emit the driver-level non-convergence warning."""
+    warnings.warn(
+        f"{label} rewiring chain stopped before convergence ({detail}); "
+        "consider raising the attempt budget (max_attempt_factor / max_attempts)",
+        RewiringConvergenceWarning,
+        stacklevel=stacklevel,
+    )
+
+
+__all__ = ["DEFAULT_BATCH_SIZE", "record_chain_stats", "warn_not_converged"]

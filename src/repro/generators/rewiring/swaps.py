@@ -16,10 +16,12 @@ can be proposed in O(1) instead of by rejection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-import numpy as np
+from typing import TYPE_CHECKING
 
 from repro.graph.simple_graph import SimpleGraph, canonical_edge
+
+if TYPE_CHECKING:  # NumPy is annotation-only here: the pure-Python proposal
+    import numpy as np  # machinery also runs on the rng fallback generator
 
 
 @dataclass(frozen=True)
@@ -161,6 +163,16 @@ class EdgeEndIndex:
         if not bucket:
             return None
         return bucket[int(rng.integers(len(bucket)))]
+
+    def degree_buckets(self) -> dict[int, list[tuple[int, int]]]:
+        """The live ``head degree -> oriented (tail, head) edges`` table.
+
+        This is the degree-bucketed oriented edge-end index the rewiring
+        engines propose 2K moves from; :mod:`repro.generators.rewiring.counting`
+        reuses it to enumerate only degree-compatible swap candidates.  The
+        returned buckets are the index's own lists — treat them as read-only.
+        """
+        return self._by_degree
 
 
 def propose_2k_swap(

@@ -16,6 +16,12 @@ pipeline for dK-random graphs when no original graph is available:
 
 * 2K-targeting 1K-preserving rewiring (target: a joint degree distribution),
 * 3K-targeting 2K-preserving rewiring (target: wedge + triangle counts).
+
+Like the randomizing chains, both processes run on either rewiring engine:
+the per-move loops in this module (``backend="python"``) or the vectorized
+batch engine in :mod:`repro.kernels.rewiring` (``backend="csr"``/``"auto"``).
+A chain that stops short of its target emits a
+:class:`~repro.exceptions.RewiringConvergenceWarning`.
 """
 
 from __future__ import annotations
@@ -23,13 +29,12 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable
-
-import numpy as np
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.distributions import JointDegreeDistribution, ThreeKDistribution
 from repro.core.extraction import joint_degree_distribution
 from repro.generators.matching import matching_1k, matching_2k
+from repro.generators.rewiring.chain import warn_not_converged
 from repro.generators.rewiring.swaps import (
     EdgeEndIndex,
     jdd_delta_of_swap,
@@ -38,7 +43,11 @@ from repro.generators.rewiring.swaps import (
 )
 from repro.generators.threek import ThreeKTracker
 from repro.graph.simple_graph import SimpleGraph
+from repro.kernels.backend import get_kernel, register_kernel, resolve_backend
 from repro.utils.rng import RngLike, ensure_rng
+
+if TYPE_CHECKING:  # annotation-only; the python engine runs on the rng fallback
+    import numpy as np
 
 TemperatureSchedule = Callable[[int], float]
 
@@ -97,7 +106,8 @@ def _distance_change(current: Counter, target: Counter, delta: dict) -> float:
     return change
 
 
-def target_2k_from_1k(
+@register_kernel("rewire_target_2k", "python")
+def _target_2k_python(
     graph: SimpleGraph,
     target: JointDegreeDistribution,
     *,
@@ -105,13 +115,9 @@ def target_2k_from_1k(
     max_attempts: int | None = None,
     temperature: float | TemperatureSchedule = 0.0,
     trace_every: int = 1000,
+    batch_size: int | None = None,
 ) -> TargetingResult:
-    """2K-targeting 1K-preserving rewiring of (a copy of) ``graph``.
-
-    The degree sequence of ``graph`` is preserved throughout; the joint
-    degree distribution is pushed toward ``target`` by accepting double edge
-    swaps that decrease ``D_2``.
-    """
+    """Python-engine 2K-targeting chain (``batch_size`` is ignored)."""
     rng = ensure_rng(rng)
     result = graph.copy()
     schedule = temperature if callable(temperature) else constant_temperature(float(temperature))
@@ -143,6 +149,8 @@ def target_2k_from_1k(
         if attempts % trace_every == 0:
             trace.append(distance)
     trace.append(distance)
+    if distance > 0:
+        warn_not_converged("2K-targeting", f"distance {distance:g} after {attempts} attempts")
     return TargetingResult(
         graph=result,
         distance=distance,
@@ -152,7 +160,8 @@ def target_2k_from_1k(
     )
 
 
-def target_3k_from_2k(
+@register_kernel("rewire_target_3k", "python")
+def _target_3k_python(
     graph: SimpleGraph,
     target: ThreeKDistribution,
     *,
@@ -160,12 +169,9 @@ def target_3k_from_2k(
     max_attempts: int | None = None,
     temperature: float | TemperatureSchedule = 0.0,
     trace_every: int = 1000,
+    batch_size: int | None = None,
 ) -> TargetingResult:
-    """3K-targeting 2K-preserving rewiring of (a copy of) ``graph``.
-
-    The joint degree distribution of ``graph`` is preserved throughout; the
-    wedge and triangle distributions are pushed toward ``target``.
-    """
+    """Python-engine 3K-targeting chain (``batch_size`` is ignored)."""
     rng = ensure_rng(rng)
     result = graph.copy()
     schedule = temperature if callable(temperature) else constant_temperature(float(temperature))
@@ -200,6 +206,8 @@ def target_3k_from_2k(
         if attempts % trace_every == 0:
             trace.append(distance)
     trace.append(distance)
+    if distance > 0:
+        warn_not_converged("3K-targeting", f"distance {distance:g} after {attempts} attempts")
     return TargetingResult(
         graph=result,
         distance=distance,
@@ -209,11 +217,70 @@ def target_3k_from_2k(
     )
 
 
+def target_2k_from_1k(
+    graph: SimpleGraph,
+    target: JointDegreeDistribution,
+    *,
+    rng: RngLike = None,
+    max_attempts: int | None = None,
+    temperature: float | TemperatureSchedule = 0.0,
+    trace_every: int = 1000,
+    backend: str | None = None,
+    batch_size: int | None = None,
+) -> TargetingResult:
+    """2K-targeting 1K-preserving rewiring of (a copy of) ``graph``.
+
+    The degree sequence of ``graph`` is preserved throughout; the joint
+    degree distribution is pushed toward ``target`` by accepting double edge
+    swaps that decrease ``D_2``.  ``backend`` selects the rewiring engine.
+    """
+    kernel = get_kernel("rewire_target_2k", resolve_backend(graph, backend))
+    return kernel(
+        graph,
+        target,
+        rng=rng,
+        max_attempts=max_attempts,
+        temperature=temperature,
+        trace_every=trace_every,
+        batch_size=batch_size,
+    )
+
+
+def target_3k_from_2k(
+    graph: SimpleGraph,
+    target: ThreeKDistribution,
+    *,
+    rng: RngLike = None,
+    max_attempts: int | None = None,
+    temperature: float | TemperatureSchedule = 0.0,
+    trace_every: int = 1000,
+    backend: str | None = None,
+    batch_size: int | None = None,
+) -> TargetingResult:
+    """3K-targeting 2K-preserving rewiring of (a copy of) ``graph``.
+
+    The joint degree distribution of ``graph`` is preserved throughout; the
+    wedge and triangle distributions are pushed toward ``target``.
+    ``backend`` selects the rewiring engine.
+    """
+    kernel = get_kernel("rewire_target_3k", resolve_backend(graph, backend))
+    return kernel(
+        graph,
+        target,
+        rng=rng,
+        max_attempts=max_attempts,
+        temperature=temperature,
+        trace_every=trace_every,
+        batch_size=batch_size,
+    )
+
+
 def dk_targeting_result(
     target,
     *,
     rng: RngLike = None,
     max_attempts: int | None = None,
+    backend: str | None = None,
 ) -> tuple[SimpleGraph, dict]:
     """Run the targeting bootstrap pipeline and return ``(graph, stats)``.
 
@@ -234,10 +301,14 @@ def dk_targeting_result(
     rng = ensure_rng(rng)
     if isinstance(target, JointDegreeDistribution):
         seed_graph = matching_1k(target.to_lower(), rng=rng)
-        run = target_2k_from_1k(seed_graph, target, rng=rng, max_attempts=max_attempts)
+        run = target_2k_from_1k(
+            seed_graph, target, rng=rng, max_attempts=max_attempts, backend=backend
+        )
     elif isinstance(target, ThreeKDistribution):
         seed_graph = matching_2k(target.jdd, rng=rng)
-        run = target_3k_from_2k(seed_graph, target, rng=rng, max_attempts=max_attempts)
+        run = target_3k_from_2k(
+            seed_graph, target, rng=rng, max_attempts=max_attempts, backend=backend
+        )
     else:
         raise TypeError(
             "dk_targeting_result expects a JointDegreeDistribution or ThreeKDistribution, "
@@ -257,12 +328,13 @@ def dk_targeting_construct(
     *,
     rng: RngLike = None,
     max_attempts: int | None = None,
+    backend: str | None = None,
 ) -> SimpleGraph:
     """Construct a dK-random graph from a dK-distribution alone.
 
     Graph-returning convenience wrapper around :func:`dk_targeting_result`.
     """
-    return dk_targeting_result(target, rng=rng, max_attempts=max_attempts)[0]
+    return dk_targeting_result(target, rng=rng, max_attempts=max_attempts, backend=backend)[0]
 
 
 __all__ = [

@@ -1,7 +1,9 @@
-"""Pluggable metric-backend registry: pure-Python loops vs NumPy CSR kernels.
+"""Pluggable backend registry: pure-Python loops vs NumPy CSR kernels.
 
 Every heavy graph kernel (BFS sweeps, triangle counting, edge-array
-correlation sums, Brandes betweenness) exists in two interchangeable
+correlation sums, Brandes betweenness, and the rewiring Markov-chain
+engines behind :func:`~repro.generators.rewiring.preserving.dk_randomize`
+and the targeting constructions) exists in two interchangeable
 implementations:
 
 * ``"python"`` — the original pure-Python loops over :class:`SimpleGraph`
@@ -12,10 +14,13 @@ implementations:
 
 Callers never import kernel modules directly: the metric functions in
 :mod:`repro.metrics` dispatch through :func:`get_kernel` with a backend name
-resolved by :func:`resolve_backend`.  Both backends return *identical*
-results — integer subgraph/distance counts are exact and the floating-point
-summaries are computed from those counts by shared code — so switching
-backends never changes metric values or artifact-store cache keys.
+resolved by :func:`resolve_backend`.  For *metric* kernels both backends
+return *identical* results — integer subgraph/distance counts are exact and
+the floating-point summaries are computed from those counts by shared code.
+The *rewiring* kernels are stochastic: each engine is deterministic per seed
+and exactly preserves the chain's dK-invariants, but the two engines sample
+different (equally valid) dK-random graphs for one seed.  In both cases the
+backend is a pure execution knob and never enters artifact-store cache keys.
 
 Selection precedence: a per-call ``backend=`` argument, then the process-wide
 setting installed with :func:`use_backend`, then ``"auto"`` (CSR for graphs
@@ -87,6 +92,17 @@ _KERNEL_MODULES: dict[tuple[str, str], str] = {
     ("jdd_counts", "csr"): "repro.kernels.correlations",
     ("betweenness_accumulate", "python"): "repro.metrics.betweenness",
     ("betweenness_accumulate", "csr"): "repro.kernels.betweenness",
+    # rewiring engines: "python" = the per-move SimpleGraph loops, "csr" =
+    # the batched flat-edge-array engine.  Unlike the metric kernels the two
+    # engines draw different random streams, so for one seed they build
+    # different (equally valid, invariant-exact) dK-random graphs — which is
+    # why the engine name must never enter artifact-store cache keys.
+    ("rewire_randomize", "python"): "repro.generators.rewiring.preserving",
+    ("rewire_randomize", "csr"): "repro.kernels.rewiring",
+    ("rewire_target_2k", "python"): "repro.generators.rewiring.targeting",
+    ("rewire_target_2k", "csr"): "repro.kernels.rewiring",
+    ("rewire_target_3k", "python"): "repro.generators.rewiring.targeting",
+    ("rewire_target_3k", "csr"): "repro.kernels.rewiring",
 }
 
 _warned_missing_numpy = False

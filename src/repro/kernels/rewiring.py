@@ -1,0 +1,773 @@
+"""Vectorized rewiring engine: batched Markov-chain moves on flat edge arrays.
+
+This is the ``"csr"``-backend counterpart of the pure-Python rewiring loops
+in :mod:`repro.generators.rewiring` (Sections 4.1.4 and 5 of the paper).
+Where the Python engine performs one move at a time through
+:class:`~repro.graph.simple_graph.SimpleGraph` mutations (adjacency sets, an
+edge-position dict, per-move ``Swap`` objects), this engine keeps the whole
+chain state in flat structures built once per chain:
+
+* ``edge_u`` / ``edge_v`` — the edge list as two parallel endpoint arrays;
+  every move rewrites at most two slots in place (the edge count is
+  invariant under all dK-preserving and targeting moves);
+* an O(1)-membership *edge hash-set* of packed canonical endpoint keys
+  (``min * n + max``), replacing ``has_edge`` / ``add_edge`` /
+  ``remove_edge`` round-trips;
+* for 2K-style proposals, a *degree-bucketed oriented edge-end index*
+  mapping each head degree to the packed ``2 * slot + side`` ends carrying
+  it.  Because 2K moves exchange heads of equal degree in place, the bucket
+  contents are invariant for the whole chain — the index is built once and
+  never updated;
+* for 3K acceptance tests and 3K-targeting objectives, plain adjacency sets
+  plus exact incremental wedge/triangle deltas (the engine-local analogue of
+  :class:`~repro.generators.threek.ThreeKTracker`).
+
+Proposals are drawn in vectorized batches: each random quantity (edge slot,
+partner, orientation, Metropolis uniform) comes from its own spawned child
+stream, consumed exactly once per proposal — so the chain's output depends
+only on the seed, *not* on the batch size, and is deterministic per seed.
+The batch arrays are converted to Python ints in bulk (``.tolist()``) and
+validated/applied by a tight scalar loop; the per-move cost is an order of
+magnitude below the Python engine's (see ``benchmarks/bench_rewiring.py``).
+
+The two engines draw from differently-structured streams, so for a given
+seed they produce *different* (but individually deterministic) dK-random
+graphs with *identical* preserved invariants; the engine choice is therefore
+excluded from all artifact-store cache keys, exactly like the metric
+backends.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.extraction import joint_degree_distribution
+from repro.generators.rewiring.chain import (
+    DEFAULT_BATCH_SIZE,
+    record_chain_stats,
+    warn_not_converged,
+)
+from repro.generators.rewiring.targeting import (
+    TargetingResult,
+    _distance_change,
+    _squared_distance,
+    constant_temperature,
+)
+from repro.graph.simple_graph import SimpleGraph
+from repro.graph.subgraphs import (
+    triangle_degree_counts,
+    triangle_key,
+    wedge_degree_counts,
+    wedge_key,
+)
+from repro.kernels.backend import register_kernel
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Name recorded in the chain stats of graphs built by this engine.
+ENGINE_NAME = "csr"
+
+
+def _spawn_streams(rng, count: int) -> list:
+    """``count`` independent child generators, one per random quantity.
+
+    Spawning (instead of slicing one stream across batch draws) is what makes
+    the engine's output independent of the batch size: stream ``k``'s ``i``-th
+    value is always proposal ``i``'s ``k``-th random quantity, however the
+    draws are batched.
+    """
+    try:
+        return list(rng.spawn(count))
+    except (AttributeError, TypeError, ValueError):
+        # generators without a seed sequence (or pre-1.25 NumPy): derive
+        # children from the parent stream instead
+        seeds = [int(rng.integers(0, 2**63 - 1)) for _ in range(count)]
+        return [np.random.default_rng(seed) for seed in seeds]
+
+
+class RewiringState:
+    """Flat chain state of a rewiring Markov chain over a fixed edge count.
+
+    Orientation convention for the packed edge-end index: entry
+    ``2 * slot + side`` denotes the oriented edge whose *head* is
+    ``edge_v[slot]`` for ``side == 0`` and ``edge_u[slot]`` for
+    ``side == 1``.  Degree-matched head exchanges write the new head into the
+    same column, which keeps every bucket entry's head degree invariant.
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "edge_u",
+        "edge_v",
+        "edge_key",
+        "edge_set",
+        "degrees",
+        "bucket_table",
+        "adj",
+    )
+
+    def __init__(self, graph: SimpleGraph):
+        n = graph.number_of_nodes
+        self.n = n
+        self.m = graph.number_of_edges
+        edge_u: list[int] = []
+        edge_v: list[int] = []
+        edge_key: list[int] = []
+        for u, v in graph.edges():  # canonical (u <= v), so u * n + v is the packed key
+            edge_u.append(u)
+            edge_v.append(v)
+            edge_key.append(u * n + v)
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+        # per-slot packed canonical key, cached so applying a move never
+        # recomputes the keys of the edges it removes
+        self.edge_key = edge_key
+        self.edge_set = set(edge_key)
+        self.degrees = graph.degrees()
+        self.bucket_table: list[list[int]] | None = None
+        self.adj: list[set[int]] | None = None
+
+    def build_buckets(self) -> list[list[int]]:
+        """Degree-bucketed oriented edge-end index (packed ``2*slot+side``).
+
+        Stored degree-*indexed* (``bucket_table[k]`` is the list of ends
+        whose head carries degree ``k``): the proposal loops hit it once per
+        proposal, and list indexing beats dict hashing there.
+        """
+        buckets: dict[int, list[int]] = {}
+        degrees = self.degrees
+        edge_u = self.edge_u
+        edge_v = self.edge_v
+        for slot in range(self.m):
+            buckets.setdefault(degrees[edge_v[slot]], []).append(2 * slot)
+            buckets.setdefault(degrees[edge_u[slot]], []).append(2 * slot + 1)
+        table: list[list[int]] = [[] for _ in range(max(buckets, default=0) + 1)]
+        for degree, entries in buckets.items():
+            table[degree] = entries
+        self.bucket_table = table
+        return table
+
+    def build_adjacency(self) -> list[set[int]]:
+        """Adjacency sets for the wedge/triangle delta computations."""
+        adj: list[set[int]] = [set() for _ in range(self.n)]
+        for u, v in zip(self.edge_u, self.edge_v):
+            adj[u].add(v)
+            adj[v].add(u)
+        self.adj = adj
+        return adj
+
+    def to_graph(self) -> SimpleGraph:
+        """Materialize the current edge arrays as a :class:`SimpleGraph`."""
+        return SimpleGraph.from_flat_edges(self.n, self.edge_u, self.edge_v)
+
+
+# --------------------------------------------------------------------------- #
+# wedge/triangle toggles over plain adjacency sets (3K acceptance / targeting)
+# --------------------------------------------------------------------------- #
+def _toggle_remove(adj, degrees, u, v, wedges, triangles) -> None:
+    """Remove edge ``(u, v)`` from ``adj``, accumulating the exact 3K delta."""
+    neighbors_u = adj[u]
+    neighbors_v = adj[v]
+    ku = degrees[u]
+    kv = degrees[v]
+    for x in neighbors_u:
+        if x == v:
+            continue
+        kx = degrees[x]
+        if x in neighbors_v:
+            key = triangle_key(ku, kv, kx)
+            triangles[key] = triangles.get(key, 0) - 1
+            key = wedge_key(kx, ku, kv)
+            wedges[key] = wedges.get(key, 0) + 1
+        else:
+            key = wedge_key(ku, kv, kx)
+            wedges[key] = wedges.get(key, 0) - 1
+    for y in neighbors_v:
+        if y == u or y in neighbors_u:
+            continue
+        key = wedge_key(kv, ku, degrees[y])
+        wedges[key] = wedges.get(key, 0) - 1
+    neighbors_u.discard(v)
+    neighbors_v.discard(u)
+
+
+def _toggle_add(adj, degrees, u, v, wedges, triangles) -> None:
+    """Add edge ``(u, v)`` to ``adj``, accumulating the exact 3K delta."""
+    neighbors_u = adj[u]
+    neighbors_v = adj[v]
+    ku = degrees[u]
+    kv = degrees[v]
+    for x in neighbors_u:
+        kx = degrees[x]
+        if x in neighbors_v:
+            key = triangle_key(ku, kv, kx)
+            triangles[key] = triangles.get(key, 0) + 1
+            key = wedge_key(kx, ku, kv)
+            wedges[key] = wedges.get(key, 0) - 1
+        else:
+            key = wedge_key(ku, kv, kx)
+            wedges[key] = wedges.get(key, 0) + 1
+    for y in neighbors_v:
+        if y == u or y in neighbors_u:
+            continue
+        key = wedge_key(kv, ku, degrees[y])
+        wedges[key] = wedges.get(key, 0) + 1
+    neighbors_u.add(v)
+    neighbors_v.add(u)
+
+
+def _swap_three_k_delta(adj, degrees, a, b, c, d):
+    """Toggle ``(a,b),(c,d) -> (a,d),(c,b)`` on ``adj``; return its 3K delta."""
+    wedges: dict = {}
+    triangles: dict = {}
+    _toggle_remove(adj, degrees, a, b, wedges, triangles)
+    _toggle_remove(adj, degrees, c, d, wedges, triangles)
+    _toggle_add(adj, degrees, a, d, wedges, triangles)
+    _toggle_add(adj, degrees, c, b, wedges, triangles)
+    return wedges, triangles
+
+
+def _revert_swap_toggles(adj, a, b, c, d) -> None:
+    """Undo the adjacency toggles of :func:`_swap_three_k_delta`."""
+    adj[a].discard(d)
+    adj[d].discard(a)
+    adj[c].discard(b)
+    adj[b].discard(c)
+    adj[a].add(b)
+    adj[b].add(a)
+    adj[c].add(d)
+    adj[d].add(c)
+
+
+# --------------------------------------------------------------------------- #
+# randomizing chains (dK-preserving, d = 0..3)
+# --------------------------------------------------------------------------- #
+def _chain_0k(state, rng, target, budget, batch_size):
+    stream_edge, stream_x, stream_y = _spawn_streams(rng, 3)
+    edge_u = state.edge_u
+    edge_v = state.edge_v
+    edge_key = state.edge_key
+    edge_set = state.edge_set
+    n = state.n
+    m = state.m
+    accepted = 0
+    attempted = 0
+    while accepted < target and attempted < budget:
+        size = min(batch_size, budget - attempted)
+        slots = stream_edge.integers(0, m, size=size).tolist()
+        xs = stream_x.integers(0, n, size=size).tolist()
+        ys = stream_y.integers(0, n, size=size).tolist()
+        done = 0
+        for slot, x, y in zip(slots, xs, ys):
+            done += 1
+            if x == y:
+                continue
+            key_xy = x * n + y if x < y else y * n + x
+            if key_xy in edge_set:
+                continue
+            edge_set.remove(edge_key[slot])
+            edge_set.add(key_xy)
+            edge_key[slot] = key_xy
+            if x < y:
+                edge_u[slot] = x
+                edge_v[slot] = y
+            else:
+                edge_u[slot] = y
+                edge_v[slot] = x
+            accepted += 1
+            if accepted == target:
+                break
+        attempted += done
+    return accepted, attempted
+
+
+def _chain_1k(state, rng, target, budget, batch_size):
+    stream_first, stream_second, stream_flip = _spawn_streams(rng, 3)
+    edge_u = state.edge_u
+    edge_v = state.edge_v
+    edge_key = state.edge_key
+    edge_set = state.edge_set
+    n = state.n
+    m = state.m
+    accepted = 0
+    attempted = 0
+    while accepted < target and attempted < budget:
+        size = min(batch_size, budget - attempted)
+        firsts = stream_first.integers(0, m, size=size).tolist()
+        seconds = stream_second.integers(0, m, size=size).tolist()
+        flips = stream_flip.integers(0, 2, size=size).tolist()
+        done = 0
+        for i, j, flip in zip(firsts, seconds, flips):
+            done += 1
+            if i == j:
+                continue
+            a = edge_u[i]
+            b = edge_v[i]
+            if flip:
+                c = edge_v[j]
+                d = edge_u[j]
+            else:
+                c = edge_u[j]
+                d = edge_v[j]
+            if a == d or c == b:
+                continue
+            key_ad = a * n + d if a < d else d * n + a
+            if key_ad in edge_set:
+                continue
+            key_cb = c * n + b if c < b else b * n + c
+            if key_cb in edge_set:
+                continue
+            edge_set.remove(edge_key[i])
+            edge_set.remove(edge_key[j])
+            edge_set.add(key_ad)
+            edge_set.add(key_cb)
+            edge_key[i] = key_ad
+            edge_key[j] = key_cb
+            edge_v[i] = d
+            edge_u[j] = c
+            edge_v[j] = b
+            accepted += 1
+            if accepted == target:
+                break
+        attempted += done
+    return accepted, attempted
+
+
+def _chain_2k(state, rng, target, budget, batch_size):
+    stream_end, stream_pos = _spawn_streams(rng, 2)
+    edge_u = state.edge_u
+    edge_v = state.edge_v
+    edge_key = state.edge_key
+    edge_set = state.edge_set
+    buckets = state.bucket_table
+    degrees = state.degrees
+    n = state.n
+    m = state.m
+    accepted = 0
+    attempted = 0
+    while accepted < target and attempted < budget:
+        size = min(batch_size, budget - attempted)
+        # one packed draw per proposal: oriented end = 2 * slot + side
+        ends = stream_end.integers(0, 2 * m, size=size).tolist()
+        positions = stream_pos.random(size=size).tolist()
+        done = 0
+        for end, r in zip(ends, positions):
+            done += 1
+            i = end >> 1
+            if end & 1:
+                b = edge_u[i]
+                a = edge_v[i]
+            else:
+                b = edge_v[i]
+                a = edge_u[i]
+            bucket = buckets[degrees[b]]
+            entry = bucket[int(r * len(bucket))]
+            j = entry >> 1
+            if i == j:
+                continue
+            if entry & 1:
+                d = edge_u[j]
+                c = edge_v[j]
+            else:
+                d = edge_v[j]
+                c = edge_u[j]
+            if a == d or c == b:
+                continue
+            key_ad = a * n + d if a < d else d * n + a
+            if key_ad in edge_set:
+                continue
+            key_cb = c * n + b if c < b else b * n + c
+            if key_cb in edge_set:
+                continue
+            edge_set.remove(edge_key[i])
+            edge_set.remove(edge_key[j])
+            edge_set.add(key_ad)
+            edge_set.add(key_cb)
+            edge_key[i] = key_ad
+            edge_key[j] = key_cb
+            # write the equal-degree new heads into the same columns, keeping
+            # every bucket entry's head degree (hence the index) invariant
+            if end & 1:
+                edge_u[i] = d
+            else:
+                edge_v[i] = d
+            if entry & 1:
+                edge_u[j] = b
+            else:
+                edge_v[j] = b
+            accepted += 1
+            if accepted == target:
+                break
+        attempted += done
+    return accepted, attempted
+
+
+def _chain_3k(state, rng, target, budget, batch_size):
+    stream_end, stream_pos = _spawn_streams(rng, 2)
+    edge_u = state.edge_u
+    edge_v = state.edge_v
+    edge_key = state.edge_key
+    edge_set = state.edge_set
+    buckets = state.bucket_table
+    degrees = state.degrees
+    adj = state.adj
+    n = state.n
+    m = state.m
+    accepted = 0
+    attempted = 0
+    while accepted < target and attempted < budget:
+        size = min(batch_size, budget - attempted)
+        ends = stream_end.integers(0, 2 * m, size=size).tolist()
+        positions = stream_pos.random(size=size).tolist()
+        done = 0
+        for end, r in zip(ends, positions):
+            done += 1
+            i = end >> 1
+            if end & 1:
+                b = edge_u[i]
+                a = edge_v[i]
+            else:
+                b = edge_v[i]
+                a = edge_u[i]
+            bucket = buckets[degrees[b]]
+            entry = bucket[int(r * len(bucket))]
+            j = entry >> 1
+            if i == j:
+                continue
+            if entry & 1:
+                d = edge_u[j]
+                c = edge_v[j]
+            else:
+                d = edge_v[j]
+                c = edge_u[j]
+            if a == d or c == b:
+                continue
+            key_ad = a * n + d if a < d else d * n + a
+            if key_ad in edge_set:
+                continue
+            key_cb = c * n + b if c < b else b * n + c
+            if key_cb in edge_set:
+                continue
+            wedges, triangles = _swap_three_k_delta(adj, degrees, a, b, c, d)
+            if any(wedges.values()) or any(triangles.values()):
+                _revert_swap_toggles(adj, a, b, c, d)
+                continue
+            edge_set.remove(edge_key[i])
+            edge_set.remove(edge_key[j])
+            edge_set.add(key_ad)
+            edge_set.add(key_cb)
+            edge_key[i] = key_ad
+            edge_key[j] = key_cb
+            if end & 1:
+                edge_u[i] = d
+            else:
+                edge_v[i] = d
+            if entry & 1:
+                edge_u[j] = b
+            else:
+                edge_v[j] = b
+            accepted += 1
+            if accepted == target:
+                break
+        attempted += done
+    return accepted, attempted
+
+
+@register_kernel("rewire_randomize", "csr")
+def randomize(
+    graph: SimpleGraph,
+    d: int,
+    *,
+    rng: RngLike = None,
+    multiplier: float = 10.0,
+    max_attempt_factor: int | None = None,
+    stats: dict | None = None,
+    batch_size: int | None = None,
+) -> SimpleGraph:
+    """dK-preserving randomization of ``graph`` on the vectorized engine.
+
+    Semantics match :func:`repro.generators.rewiring.preserving.dk_randomize`:
+    the chain performs ``multiplier * m`` accepted dK-preserving moves (or
+    stops at the attempt budget), records the unified
+    ``attempted/accepted/converged`` stats, and warns when the budget binds.
+    """
+    if d not in (0, 1, 2, 3):
+        raise ValueError(f"dK-randomizing rewiring is implemented for d in 0..3, got {d}")
+    rng = ensure_rng(rng)
+    if batch_size is None or batch_size < 1:
+        batch_size = DEFAULT_BATCH_SIZE
+    if max_attempt_factor is None:
+        max_attempt_factor = 200 if d == 3 else 50
+    state = RewiringState(graph)
+    m = state.m
+    target = max(1, int(multiplier * m))
+    budget = max_attempt_factor * (max(m, 1) if d == 3 else target)
+    label = f"{d}K-preserving randomizing"
+
+    feasible = (m >= 1 and state.n >= 2) if d == 0 else m >= 2
+    if not feasible:
+        accepted, attempted = 0, 0
+    elif d == 0:
+        accepted, attempted = _chain_0k(state, rng, target, budget, batch_size)
+    elif d == 1:
+        accepted, attempted = _chain_1k(state, rng, target, budget, batch_size)
+    elif d == 2:
+        state.build_buckets()
+        accepted, attempted = _chain_2k(state, rng, target, budget, batch_size)
+    else:
+        state.build_buckets()
+        state.build_adjacency()
+        accepted, attempted = _chain_3k(state, rng, target, budget, batch_size)
+
+    record_chain_stats(
+        stats, label=label, target=target, accepted=accepted, attempted=attempted
+    )
+    if stats is not None:
+        stats["engine"] = ENGINE_NAME
+    return state.to_graph()
+
+
+# --------------------------------------------------------------------------- #
+# targeting chains (Metropolis dynamics toward a dK-distribution)
+# --------------------------------------------------------------------------- #
+def _jdd_bump(delta: dict, k1: int, k2: int, amount: int) -> None:
+    key = (k1, k2) if k1 <= k2 else (k2, k1)
+    value = delta.get(key, 0) + amount
+    if value:
+        delta[key] = value
+    else:
+        delta.pop(key, None)
+
+
+def _commit_counts(current: dict, delta: dict) -> None:
+    for key, amount in delta.items():
+        value = current.get(key, 0) + amount
+        if value:
+            current[key] = value
+        else:
+            current.pop(key, None)
+
+
+def _accepts(change: float, temperature: float, uniform: float) -> bool:
+    if change <= 0:
+        return True
+    if temperature <= 0:
+        return False
+    return uniform < math.exp(-change / temperature)
+
+
+@register_kernel("rewire_target_2k", "csr")
+def target_2k(
+    graph: SimpleGraph,
+    target,
+    *,
+    rng: RngLike = None,
+    max_attempts: int | None = None,
+    temperature=0.0,
+    trace_every: int = 1000,
+    batch_size: int | None = None,
+) -> TargetingResult:
+    """2K-targeting 1K-preserving Metropolis rewiring on the vectorized engine."""
+    rng = ensure_rng(rng)
+    if batch_size is None or batch_size < 1:
+        batch_size = DEFAULT_BATCH_SIZE
+    schedule = temperature if callable(temperature) else constant_temperature(float(temperature))
+    state = RewiringState(graph)
+    n = state.n
+    m = state.m
+    degrees = state.degrees
+    edge_u = state.edge_u
+    edge_v = state.edge_v
+    edge_key = state.edge_key
+    edge_set = state.edge_set
+    current = dict(joint_degree_distribution(graph).counts)
+    target_counts = dict(target.counts)
+    distance = _squared_distance(current, target_counts)
+    if max_attempts is None:
+        max_attempts = 200 * max(m, 1)
+
+    stream_first, stream_second, stream_flip, stream_accept = _spawn_streams(rng, 4)
+    accepted = 0
+    attempts = 0
+    trace = [distance]
+    while distance > 0 and attempts < max_attempts and m >= 2:
+        size = min(batch_size, max_attempts - attempts)
+        firsts = stream_first.integers(0, m, size=size).tolist()
+        seconds = stream_second.integers(0, m, size=size).tolist()
+        flips = stream_flip.integers(0, 2, size=size).tolist()
+        uniforms = stream_accept.random(size=size).tolist()
+        for i, j, flip, uniform in zip(firsts, seconds, flips, uniforms):
+            attempts += 1
+            valid = i != j
+            if valid:
+                a = edge_u[i]
+                b = edge_v[i]
+                if flip:
+                    c = edge_v[j]
+                    d = edge_u[j]
+                else:
+                    c = edge_u[j]
+                    d = edge_v[j]
+                if a == d or c == b:
+                    valid = False
+                else:
+                    key_ad = a * n + d if a < d else d * n + a
+                    key_cb = c * n + b if c < b else b * n + c
+                    if key_ad in edge_set or key_cb in edge_set:
+                        valid = False
+            if valid:
+                delta: dict = {}
+                _jdd_bump(delta, degrees[a], degrees[b], -1)
+                _jdd_bump(delta, degrees[c], degrees[d], -1)
+                _jdd_bump(delta, degrees[a], degrees[d], +1)
+                _jdd_bump(delta, degrees[c], degrees[b], +1)
+                change = _distance_change(current, target_counts, delta)
+                if _accepts(change, schedule(attempts), uniform):
+                    edge_set.remove(edge_key[i])
+                    edge_set.remove(edge_key[j])
+                    edge_set.add(key_ad)
+                    edge_set.add(key_cb)
+                    edge_key[i] = key_ad
+                    edge_key[j] = key_cb
+                    edge_v[i] = d
+                    edge_u[j] = c
+                    edge_v[j] = b
+                    _commit_counts(current, delta)
+                    distance += change
+                    accepted += 1
+            if attempts % trace_every == 0:
+                trace.append(distance)
+            if distance == 0:
+                break
+    trace.append(distance)
+    if distance > 0:
+        warn_not_converged(
+            "2K-targeting", f"distance {distance:g} after {attempts} attempts"
+        )
+    return TargetingResult(
+        graph=state.to_graph(),
+        distance=distance,
+        accepted_moves=accepted,
+        attempted_moves=attempts,
+        distance_trace=trace,
+    )
+
+
+@register_kernel("rewire_target_3k", "csr")
+def target_3k(
+    graph: SimpleGraph,
+    target,
+    *,
+    rng: RngLike = None,
+    max_attempts: int | None = None,
+    temperature=0.0,
+    trace_every: int = 1000,
+    batch_size: int | None = None,
+) -> TargetingResult:
+    """3K-targeting 2K-preserving Metropolis rewiring on the vectorized engine."""
+    rng = ensure_rng(rng)
+    if batch_size is None or batch_size < 1:
+        batch_size = DEFAULT_BATCH_SIZE
+    schedule = temperature if callable(temperature) else constant_temperature(float(temperature))
+    state = RewiringState(graph)
+    buckets = state.build_buckets()
+    adj = state.build_adjacency()
+    n = state.n
+    m = state.m
+    degrees = state.degrees
+    edge_u = state.edge_u
+    edge_v = state.edge_v
+    edge_key = state.edge_key
+    edge_set = state.edge_set
+    current_wedges = dict(wedge_degree_counts(graph))
+    current_triangles = dict(triangle_degree_counts(graph))
+    target_wedges = dict(target.wedges)
+    target_triangles = dict(target.triangles)
+    distance = _squared_distance(current_wedges, target_wedges) + _squared_distance(
+        current_triangles, target_triangles
+    )
+    if max_attempts is None:
+        max_attempts = 400 * max(m, 1)
+
+    stream_end, stream_pos, stream_accept = _spawn_streams(rng, 3)
+    accepted = 0
+    attempts = 0
+    trace = [distance]
+    while distance > 0 and attempts < max_attempts and m >= 2:
+        size = min(batch_size, max_attempts - attempts)
+        ends = stream_end.integers(0, 2 * m, size=size).tolist()
+        positions = stream_pos.random(size=size).tolist()
+        uniforms = stream_accept.random(size=size).tolist()
+        for end, r, uniform in zip(ends, positions, uniforms):
+            attempts += 1
+            i = end >> 1
+            if end & 1:
+                b = edge_u[i]
+                a = edge_v[i]
+            else:
+                b = edge_v[i]
+                a = edge_u[i]
+            bucket = buckets[degrees[b]]
+            entry = bucket[int(r * len(bucket))]
+            j = entry >> 1
+            valid = i != j
+            if valid:
+                if entry & 1:
+                    d = edge_u[j]
+                    c = edge_v[j]
+                else:
+                    d = edge_v[j]
+                    c = edge_u[j]
+                if a == d or c == b:
+                    valid = False
+                else:
+                    key_ad = a * n + d if a < d else d * n + a
+                    key_cb = c * n + b if c < b else b * n + c
+                    if key_ad in edge_set or key_cb in edge_set:
+                        valid = False
+            if valid:
+                wedge_delta, triangle_delta = _swap_three_k_delta(adj, degrees, a, b, c, d)
+                change = _distance_change(current_wedges, target_wedges, wedge_delta)
+                change += _distance_change(current_triangles, target_triangles, triangle_delta)
+                if _accepts(change, schedule(attempts), uniform):
+                    edge_set.remove(edge_key[i])
+                    edge_set.remove(edge_key[j])
+                    edge_set.add(key_ad)
+                    edge_set.add(key_cb)
+                    edge_key[i] = key_ad
+                    edge_key[j] = key_cb
+                    if end & 1:
+                        edge_u[i] = d
+                    else:
+                        edge_v[i] = d
+                    if entry & 1:
+                        edge_u[j] = b
+                    else:
+                        edge_v[j] = b
+                    _commit_counts(current_wedges, wedge_delta)
+                    _commit_counts(current_triangles, triangle_delta)
+                    distance += change
+                    accepted += 1
+                else:
+                    _revert_swap_toggles(adj, a, b, c, d)
+            if attempts % trace_every == 0:
+                trace.append(distance)
+            if distance == 0:
+                break
+    trace.append(distance)
+    if distance > 0:
+        warn_not_converged(
+            "3K-targeting", f"distance {distance:g} after {attempts} attempts"
+        )
+    return TargetingResult(
+        graph=state.to_graph(),
+        distance=distance,
+        accepted_moves=accepted,
+        attempted_moves=attempts,
+        distance_trace=trace,
+    )
+
+
+__all__ = ["ENGINE_NAME", "RewiringState", "randomize", "target_2k", "target_3k"]

@@ -14,6 +14,12 @@ versions and dict orderings:
 The code version (:func:`code_version`) folds the package version and the
 store schema into every key, so upgrading either silently invalidates stale
 entries instead of serving results computed by old code.
+
+Execution knobs never enter keys: the kernel/rewiring ``backend`` (and the
+vectorized engine's batch size) select *how* a result is computed, not what
+it is — metric values are bit-identical across backends, and generated
+graphs are per-seed deterministic and invariant-exact on every engine — so
+entries are shared across backends in both directions.
 """
 
 from __future__ import annotations

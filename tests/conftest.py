@@ -50,6 +50,7 @@ _NUMPY_ONLY = [
     "test_pseudograph.py",
     "test_randomness.py",
     "test_rescaling.py",
+    "test_rewiring_engine.py",
     "test_series.py",
     "test_stochastic.py",
     "test_store.py",

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.generators.rewiring.counting import (
+    _count_by_degree_buckets,
+    _count_by_pair_enumeration,
     count_0k_rewirings,
     count_dk_rewirings,
     rewiring_count_table,
@@ -55,6 +57,17 @@ def test_count_3k_subset_of_2k(square_with_diagonal, hot_small):
         c2 = count_dk_rewirings(graph, 2)
         c3 = count_dk_rewirings(graph, 3)
         assert c3.total <= c2.total
+
+
+def test_bucketed_counts_match_pair_enumeration(
+    hot_small, random_graph, square_with_diagonal, star_graph
+):
+    """The degree-bucketed Table-5 fast path is exactly the all-pairs count."""
+    for graph in (hot_small, random_graph, square_with_diagonal, star_graph):
+        for d in (2, 3):
+            assert _count_by_degree_buckets(graph, d) == _count_by_pair_enumeration(
+                graph, d
+            ), (graph, d)
 
 
 def test_count_invalid_d(triangle_graph):

@@ -1,0 +1,77 @@
+"""Python rewiring engine on a bare interpreter (no NumPy required).
+
+This module is deliberately *not* in the no-numpy ``collect_ignore`` list:
+the pure-Python chains must import and run against the rng fallback
+generator, and an explicit ``backend="csr"`` request must degrade to the
+python engine instead of failing.  (The registry/experiment layers above
+still require NumPy; this covers the direct ``dk_randomize``-family path.)
+"""
+
+import warnings
+
+import pytest
+
+from repro.exceptions import RewiringConvergenceWarning
+from repro.generators.rewiring.preserving import dk_randomize, randomize_1k
+from repro.graph.simple_graph import SimpleGraph
+from repro.kernels.backend import HAS_NUMPY
+
+
+def _circulant_graph(n=40, offsets=(1, 7)):
+    """A 4-regular ring graph: plenty of valid swaps, all degrees equal."""
+    edges = []
+    for i in range(n):
+        for off in offsets:
+            edges.append((i, (i + off) % n))
+    return SimpleGraph(n, edges=edges)
+
+
+def _degree_histogram(graph):
+    return sorted(graph.degrees())
+
+
+def test_python_engine_runs_without_numpy_generator():
+    graph = _circulant_graph()
+    stats = {}
+    rewired = dk_randomize(graph, 1, rng=3, multiplier=2, backend="python", stats=stats)
+    assert rewired.number_of_edges == graph.number_of_edges
+    assert _degree_histogram(rewired) == _degree_histogram(graph)
+    assert stats["converged"] is True
+    assert stats["engine"] == "python"
+
+
+def test_python_engine_is_seed_deterministic():
+    graph = _circulant_graph()
+    first = dk_randomize(graph, 2, rng=9, multiplier=2, backend="python")
+    second = dk_randomize(graph, 2, rng=9, multiplier=2, backend="python")
+    assert sorted(first.edges()) == sorted(second.edges())
+
+
+def test_csr_request_degrades_gracefully_without_numpy():
+    """backend="csr" must never hard-fail: without NumPy it falls back to the
+    python engine (with a one-time RuntimeWarning from resolve_backend)."""
+    graph = _circulant_graph()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        rewired = dk_randomize(graph, 1, rng=4, multiplier=2, backend="csr")
+    assert _degree_histogram(rewired) == _degree_histogram(graph)
+    if not HAS_NUMPY:
+        stats = {}
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            dk_randomize(graph, 1, rng=4, multiplier=2, backend="csr", stats=stats)
+        assert stats["engine"] == "python"
+
+
+def test_auto_backend_resolves_on_any_interpreter():
+    graph = _circulant_graph()
+    rewired = dk_randomize(graph, 0, rng=5, multiplier=2, backend="auto")
+    assert rewired.number_of_edges == graph.number_of_edges
+
+
+def test_unconverged_python_chain_warns_without_numpy():
+    graph = _circulant_graph()
+    stats = {}
+    with pytest.warns(RewiringConvergenceWarning):
+        randomize_1k(graph, rng=1, multiplier=5.0, max_attempt_factor=1, stats=stats)
+    assert stats["converged"] is False
