@@ -18,6 +18,7 @@ import time
 import pytest
 
 from benchmarks._common import AS_SEED, record_result
+from repro.measure import clear_measure_cache
 from repro.metrics.clustering import mean_clustering
 from repro.metrics.distances import mean_distance
 from repro.metrics.summary import summarize
@@ -47,6 +48,10 @@ def _warm_kernels():
 
 
 def _operation(name, graph, n, backend):
+    # each operation is timed cold: the measurement-intermediate cache would
+    # otherwise let later operations reuse earlier traversals (that sharing
+    # is benchmarked separately in bench_measure_plan.py)
+    clear_measure_cache(graph)
     if name == "mean_distance":
         return mean_distance(graph, sources=DISTANCE_SOURCES[n], rng=1, backend=backend)
     if name == "mean_clustering":

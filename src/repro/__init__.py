@@ -43,7 +43,7 @@ Batch pipeline::
 
 from repro._lazy import lazy_exports
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 # Lazy re-exports (PEP 562): nothing heavy is imported until first attribute
 # access, so `import repro` (and the pure-Python analysis path under it)
@@ -75,9 +75,14 @@ _EXPORTS = {
     "run_experiment": "repro.experiment",
     "ScalarMetrics": "repro.metrics.summary",
     "summarize": "repro.metrics.summary",
+    "MeasurementPlan": "repro.measure.plan",
+    "Measurement": "repro.measure.plan",
+    "average_measurements": "repro.measure.plan",
+    "available_metrics": "repro.measure.registry",
     "ArtifactStore": "repro.store.artifact_store",
     "graph_content_hash": "repro.store.serialize",
     "memoized_build": "repro.store.memo",
+    "memoized_measure": "repro.store.memo",
     "memoized_summarize": "repro.store.memo",
     "available_backends": "repro.kernels.backend",
     "use_backend": "repro.kernels.backend",

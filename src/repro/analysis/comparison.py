@@ -16,7 +16,8 @@ from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 from repro.core.randomness import dk_random_graph
 from repro.exceptions import ExperimentError
 from repro.graph.simple_graph import SimpleGraph
-from repro.metrics.summary import ScalarMetrics, average_summaries, summarize
+from repro.measure.plan import average_measurements, battery_plan
+from repro.metrics.summary import ScalarMetrics, average_summaries
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -24,15 +25,22 @@ if TYPE_CHECKING:  # pragma: no cover
 
 GraphFactory = Callable[..., SimpleGraph]
 
+SummaryLike = "ScalarMetrics | Measurement"
+
 
 @dataclass
 class AlgorithmComparison:
-    """Result of comparing several construction algorithms on one topology."""
+    """Result of comparing several construction algorithms on one topology.
 
-    original: ScalarMetrics
-    columns: dict[str, ScalarMetrics]
+    The cells are :class:`ScalarMetrics` for the default Table-2 battery, or
+    planner :class:`~repro.measure.plan.Measurement` objects when a custom
+    ``metrics=`` subset was compared; the table renderers accept either.
+    """
 
-    def as_columns(self, original_label: str = "Original") -> dict[str, ScalarMetrics]:
+    original: SummaryLike
+    columns: dict[str, SummaryLike]
+
+    def as_columns(self, original_label: str = "Original") -> dict[str, SummaryLike]:
         """All columns including the original graph (for table rendering)."""
         combined = dict(self.columns)
         combined[original_label] = self.original
@@ -47,30 +55,38 @@ def compare_generators(
     rng: RngLike = None,
     distance_sources: int | None = None,
     compute_spectrum: bool = True,
+    metrics: Sequence[str] | None = None,
 ) -> AlgorithmComparison:
-    """Run every generator ``instances`` times and average the scalar metrics.
+    """Run every generator ``instances`` times and average the metrics.
 
     Each generator is called as ``generator(rng=child_rng)`` and must return
-    a :class:`SimpleGraph`.
+    a :class:`SimpleGraph`.  One measurement plan is built for the whole
+    comparison, so every graph is measured with shared intermediates (one
+    BFS sweep each).  ``metrics`` selects an à-la-carte subset (names from
+    :func:`repro.measure.registry.available_metrics`); the default is the
+    paper's Table-2 scalar battery.
     """
     rng = ensure_rng(rng)
-    original_summary = summarize(
-        original, distance_sources=distance_sources, compute_spectrum=compute_spectrum
+    plan, scalar = battery_plan(
+        metrics, compute_spectrum=compute_spectrum, distance_sources=distance_sources
     )
-    columns: dict[str, ScalarMetrics] = {}
+
+    def measure(graph: SimpleGraph, child_rng) -> SummaryLike:
+        measurement = plan.run(graph, rng=child_rng)
+        return measurement.scalar_metrics() if scalar else measurement
+
+    average = average_summaries if scalar else average_measurements
+    # the original is measured without touching the parent rng stream, so the
+    # spawned per-instance children (and hence the generated graphs) are
+    # unchanged from the pre-planner behaviour
+    original_summary = measure(original, None)
+    columns: dict[str, SummaryLike] = {}
     for label, factory in generators.items():
         summaries = []
         for child in spawn_rngs(rng, instances):
             graph = factory(rng=child)
-            summaries.append(
-                summarize(
-                    graph,
-                    distance_sources=distance_sources,
-                    compute_spectrum=compute_spectrum,
-                    rng=child,
-                )
-            )
-        columns[label] = average_summaries(summaries)
+            summaries.append(measure(graph, child))
+        columns[label] = average(summaries)
     return AlgorithmComparison(original=original_summary, columns=columns)
 
 
@@ -101,6 +117,7 @@ def compare_2k_algorithms(
     distance_sources: int | None = None,
     compute_spectrum: bool = True,
     labels: Sequence[str] | None = None,
+    metrics: Sequence[str] | None = None,
 ) -> AlgorithmComparison:
     """Table 3: scalar metrics of 2K-random graphs from the five algorithms."""
     generators = standard_2k_generators(original)
@@ -113,6 +130,7 @@ def compare_2k_algorithms(
         rng=rng,
         distance_sources=distance_sources,
         compute_spectrum=compute_spectrum,
+        metrics=metrics,
     )
 
 
@@ -123,6 +141,7 @@ def compare_3k_algorithms(
     rng: RngLike = None,
     distance_sources: int | None = None,
     compute_spectrum: bool = True,
+    metrics: Sequence[str] | None = None,
 ) -> AlgorithmComparison:
     """Table 4: scalar metrics of 3K-random graphs (randomizing vs targeting)."""
     return compare_generators(
@@ -132,6 +151,7 @@ def compare_3k_algorithms(
         rng=rng,
         distance_sources=distance_sources,
         compute_spectrum=compute_spectrum,
+        metrics=metrics,
     )
 
 
@@ -144,9 +164,11 @@ def comparison_from_experiment(
 ) -> AlgorithmComparison:
     """Build an :class:`AlgorithmComparison` from Experiment pipeline results.
 
-    The experiment must have been run with ``include_original=True`` and
-    ``collect_metrics=True`` (the defaults provide the latter); replicates of
-    each method are averaged exactly like :func:`compare_generators` does.
+    The experiment must have been run with ``include_original=True`` and a
+    non-empty metric set (the default provides the full Table-2 battery;
+    custom ``ExperimentSpec.metrics=`` subsets are averaged as
+    :class:`~repro.measure.plan.Measurement` columns); replicates of each
+    method are averaged exactly like :func:`compare_generators` does.
 
     Parameters
     ----------
@@ -172,11 +194,16 @@ def comparison_from_experiment(
             )
         topology = labels[0]
 
+    def summary_of(record: "RunRecord") -> SummaryLike:
+        block = record.metrics if record.metrics is not None else record.measured
+        if block is None:
+            raise ExperimentError(
+                "the experiment did not collect metrics (metrics=())"
+            )
+        return block
+
     original = result.original_record(topology)
-    if original.metrics is None:
-        raise ExperimentError(
-            "the experiment did not collect metrics (collect_metrics=False)"
-        )
+    original_summary = summary_of(original)
 
     generated = [
         record
@@ -185,10 +212,6 @@ def comparison_from_experiment(
     ]
     if not generated:
         raise ExperimentError(f"no generated records for topology {topology!r}")
-    if any(record.metrics is None for record in generated):
-        raise ExperimentError(
-            "the experiment did not collect metrics (collect_metrics=False)"
-        )
 
     if label_by is None:
         multiple_levels = len({record.d for record in generated}) > 1
@@ -197,11 +220,17 @@ def comparison_from_experiment(
         else:
             label_by = lambda record: record.method  # noqa: E731
 
-    grouped: dict[str, list[ScalarMetrics]] = {}
+    grouped: dict[str, list] = {}
     for record in generated:
-        grouped.setdefault(label_by(record), []).append(record.metrics)
-    columns = {label: average_summaries(summaries) for label, summaries in grouped.items()}
-    return AlgorithmComparison(original=original.metrics, columns=columns)
+        grouped.setdefault(label_by(record), []).append(summary_of(record))
+
+    def average(summaries: list) -> SummaryLike:
+        if isinstance(summaries[0], ScalarMetrics):
+            return average_summaries(summaries)
+        return average_measurements(summaries)
+
+    columns = {label: average(summaries) for label, summaries in grouped.items()}
+    return AlgorithmComparison(original=original_summary, columns=columns)
 
 
 __all__ = [

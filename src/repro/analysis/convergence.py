@@ -1,29 +1,43 @@
 """dK-series convergence studies (Tables 6 and 8, Figures 3, 6, 8, 9).
 
 A convergence study compares an original topology against its dK-random
-counterparts for ``d = 0..3`` and reports how the scalar metrics (and the
-figure series) approach the original as ``d`` grows.
+counterparts for ``d = 0..3`` and reports how the metrics (and the figure
+series) approach the original as ``d`` grows.  Measurement goes through one
+:class:`~repro.measure.plan.MeasurementPlan` shared by the original and all
+generated instances, so each graph pays a single BFS sweep / triangle pass
+regardless of how many metrics are requested — and a custom ``metrics=``
+subset (e.g. only ``mean_distance`` for a convergence trace, or
+``distance_distribution`` + ``betweenness_by_degree`` for distribution
+studies) measures exactly what the study needs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.randomness import dk_random_graph
 from repro.graph.simple_graph import SimpleGraph
-from repro.metrics.summary import ScalarMetrics, average_summaries, summarize
+from repro.measure.plan import average_measurements, battery_plan
+from repro.metrics.summary import average_summaries
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 
 @dataclass
 class ConvergenceStudy:
-    """Scalar-metric convergence of dK-random graphs toward an original graph."""
+    """Metric convergence of dK-random graphs toward an original graph.
 
-    original: ScalarMetrics
-    by_d: dict[int, ScalarMetrics]
+    The cells are :class:`~repro.metrics.summary.ScalarMetrics` for the
+    default Table-2 battery or :class:`~repro.measure.plan.Measurement`
+    objects for a custom metric subset; ``convergence_error`` and the table
+    renderers accept either.
+    """
+
+    original: object
+    by_d: dict[int, object]
     sample_graphs: dict[int, SimpleGraph] = field(default_factory=dict)
 
-    def as_columns(self, original_label: str = "Original") -> dict[str, ScalarMetrics]:
+    def as_columns(self, original_label: str = "Original") -> dict[str, object]:
         """Columns for table rendering: 0K..3K followed by the original."""
         columns = {f"{d}K": summary for d, summary in sorted(self.by_d.items())}
         columns[original_label] = self.original
@@ -55,6 +69,7 @@ def dk_convergence_study(
     distance_sources: int | None = None,
     compute_spectrum: bool = True,
     keep_sample_graphs: bool = False,
+    metrics: Sequence[str] | None = None,
 ) -> ConvergenceStudy:
     """Generate dK-random graphs for each requested ``d`` and summarize them.
 
@@ -67,12 +82,23 @@ def dk_convergence_study(
         Construction method passed to :func:`repro.core.dk_random_graph`.
     keep_sample_graphs:
         Keep one generated instance per ``d`` (used by the figure series).
+    metrics:
+        À-la-carte metric subset (see
+        :func:`repro.measure.registry.available_metrics`); the default is
+        the full Table-2 battery rendered as ``ScalarMetrics``.
     """
     rng = ensure_rng(rng)
-    original_summary = summarize(
-        original, distance_sources=distance_sources, compute_spectrum=compute_spectrum
+    plan, scalar = battery_plan(
+        metrics, compute_spectrum=compute_spectrum, distance_sources=distance_sources
     )
-    by_d: dict[int, ScalarMetrics] = {}
+
+    def measure(graph: SimpleGraph, child_rng):
+        measurement = plan.run(graph, rng=child_rng)
+        return measurement.scalar_metrics() if scalar else measurement
+
+    average = average_summaries if scalar else average_measurements
+    original_summary = measure(original, None)
+    by_d: dict[int, object] = {}
     samples: dict[int, SimpleGraph] = {}
     for d in ds:
         summaries = []
@@ -80,15 +106,8 @@ def dk_convergence_study(
             graph = dk_random_graph(original, d, method=method, rng=child)
             if keep_sample_graphs and index == 0:
                 samples[d] = graph
-            summaries.append(
-                summarize(
-                    graph,
-                    distance_sources=distance_sources,
-                    compute_spectrum=compute_spectrum,
-                    rng=child,
-                )
-            )
-        by_d[d] = average_summaries(summaries)
+            summaries.append(measure(graph, child))
+        by_d[d] = average(summaries)
     return ConvergenceStudy(original=original_summary, by_d=by_d, sample_graphs=samples)
 
 

@@ -9,10 +9,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Mapping, Sequence
 
-from repro.metrics.summary import ScalarMetrics
-
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiment import ExperimentResult
+    from repro.measure.plan import Measurement
+    from repro.metrics.summary import ScalarMetrics
 
 # row order and labels used for the paper-style scalar-metric tables
 SCALAR_ROWS: tuple[tuple[str, str], ...] = (
@@ -24,6 +24,8 @@ SCALAR_ROWS: tuple[tuple[str, str], ...] = (
     ("lambda_1", "lambda_1"),
     ("lambda_n_1", "lambda_n-1"),
 )
+
+_MISSING = object()
 
 
 def format_value(value: float, precision: int = 3) -> str:
@@ -62,16 +64,25 @@ def render_table(
 
 
 def scalar_metrics_table(
-    columns: Mapping[str, ScalarMetrics],
+    columns: "Mapping[str, ScalarMetrics | Measurement]",
     *,
     title: str | None = None,
     rows: Sequence[tuple[str, str]] = SCALAR_ROWS,
 ) -> str:
-    """Render a paper-style table: one column per graph, one row per metric."""
+    """Render a paper-style table: one column per graph, one row per metric.
+
+    Columns may be :class:`ScalarMetrics` or planner
+    :class:`~repro.measure.plan.Measurement` objects; rows whose metric none
+    of the columns measured are dropped, and a column missing one metric
+    shows ``-`` (à-la-carte subsets render cleanly).
+    """
     headers = ["Metric", *columns.keys()]
     body = []
     for field_name, label in rows:
-        body.append([label, *(getattr(summary, field_name) for summary in columns.values())])
+        values = [getattr(summary, field_name, _MISSING) for summary in columns.values()]
+        if all(value is _MISSING for value in values):
+            continue
+        body.append([label, *("-" if value is _MISSING else value for value in values)])
     return render_table(headers, body, title=title)
 
 
@@ -101,8 +112,9 @@ def experiment_table(
 ) -> str:
     """Render an Experiment pipeline result: one row per grid cell group.
 
-    Replicates of each (topology, method, d) cell are averaged; the scalar
-    columns are blank when the experiment ran with ``collect_metrics=False``.
+    Replicates of each (topology, method, d) cell are averaged; a scalar
+    column is blank when the experiment's metric set (``metrics=``) did not
+    include it.
     """
     grouped: dict[tuple[str, str, object], list] = {}
     for record in result.records:
@@ -113,12 +125,16 @@ def experiment_table(
     for (topology, method, d), records in grouped.items():
         count = len(records)
         mean = lambda values: sum(values) / count  # noqa: E731
-        if all(record.metrics is not None for record in records):
-            kbar = format_value(mean([record.metrics.average_degree for record in records]))
-            r = format_value(mean([record.metrics.assortativity for record in records]))
-            dbar = format_value(mean([record.metrics.mean_distance for record in records]))
-        else:
-            kbar = r = dbar = "-"
+
+        def scalar_column(name):
+            values = [record.metric_value(name) for record in records]
+            if any(value is None for value in values):
+                return "-"
+            return format_value(mean(values))
+
+        kbar = scalar_column("average_degree")
+        r = scalar_column("assortativity")
+        dbar = scalar_column("mean_distance")
         rows.append(
             [
                 topology,

@@ -6,6 +6,10 @@ Experiment pipeline:
 
 * ``dist``    -- analyze a graph: extract its dK-distributions and scalar
   metrics; optionally write the 2K-distribution (JDD) to a file.
+  ``--metrics`` selects an à-la-carte subset (including distribution
+  metrics like ``distance_distribution`` / ``betweenness_by_degree``)
+  evaluated by one measurement-planner run — the same knob exists on
+  ``compare`` and ``run-experiment``.
 * ``gen``     -- generate a dK-random graph, either from an input graph or
   from a JDD file, with any registered construction algorithm, optionally
   rescaled to a different size; ``--backend`` picks the rewiring engine
@@ -37,7 +41,12 @@ import sys
 from pathlib import Path
 
 from repro.analysis.comparison import comparison_from_experiment
-from repro.analysis.tables import experiment_table, render_table, scalar_metrics_table
+from repro.analysis.tables import (
+    experiment_table,
+    render_table,
+    scalar_metrics_table,
+    series_table,
+)
 from repro.core.distance import graph_dk_distance
 from repro.core.distributions import JointDegreeDistribution
 from repro.core.randomness import dk_random_graph
@@ -46,6 +55,8 @@ from repro.exceptions import ExperimentError, StoreError
 from repro.experiment import ExperimentSpec, run_experiment
 from repro.generators.registry import available_generators, get_generator
 from repro.graph.io import read_edge_list, read_jdd, write_edge_list, write_jdd
+from repro.measure.plan import MeasurementPlan
+from repro.measure.registry import available_metrics, get_metric_def
 from repro.metrics.summary import summarize
 from repro.rescaling.rescale import rescale_jdd
 from repro.store.artifact_store import ArtifactStore
@@ -84,6 +95,74 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--metrics`` knob: an à-la-carte metric subset."""
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        help="comma-separated metric subset to compute instead of the full "
+        "Table-2 battery (e.g. 'mean_distance,distance_std,"
+        "betweenness_by_degree'); all selected metrics share one planner "
+        "run, so e.g. distances and betweenness cost a single BFS sweep; "
+        f"available: {', '.join(available_metrics())}",
+    )
+
+
+def _parse_metric_names(
+    value: str | None, parser: argparse.ArgumentParser
+) -> tuple[str, ...] | None:
+    """Split and validate a ``--metrics`` value (None when not given)."""
+    if value is None:
+        return None
+    names = tuple(name.strip() for name in value.split(",") if name.strip())
+    known = available_metrics()
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        parser.error(
+            f"unknown metric(s) {', '.join(unknown)}; available: {', '.join(known)}"
+        )
+    if not names:
+        parser.error("--metrics needs at least one metric name")
+    return names
+
+
+def _measurement_report(columns: dict, names: tuple[str, ...], *, title: str) -> str:
+    """Render planner measurements: scalar table, one series per distribution,
+    and min/mean/max summary rows for per-node metrics."""
+    parts = []
+    scalar_rows = [
+        (name, name) for name in names if get_metric_def(name).kind == "scalar"
+    ]
+    if scalar_rows:
+        parts.append(scalar_metrics_table(columns, title=title, rows=scalar_rows))
+    for name in names:
+        kind = get_metric_def(name).kind
+        if kind == "distribution":
+            parts.append(
+                series_table(
+                    {label: column[name] for label, column in columns.items()},
+                    x_label="x",
+                    title=f"{name} (distribution)",
+                )
+            )
+        elif kind == "per_node":
+            rows = []
+            for label, column in columns.items():
+                values = column[name]
+                mean = sum(values) / len(values) if values else 0.0
+                rows.append(
+                    [label, len(values), min(values, default=0.0), mean, max(values, default=0.0)]
+                )
+            parts.append(
+                render_table(
+                    ["graph", "nodes", "min", "mean", "max"],
+                    rows,
+                    title=f"{name} (per-node summary)",
+                )
+            )
+    return "\n\n".join(parts)
+
+
 def _warn_unconverged_chain(stats: dict, *, prefix: str = "") -> None:
     """Print the visible non-convergence note for one chain's stats."""
     if stats.get("converged") is not False:
@@ -118,16 +197,31 @@ def dkdist_main(argv: list[str] | None = None) -> int:
         "--no-spectrum", action="store_true", help="skip the Laplacian eigenvalues (faster)"
     )
     _add_backend_argument(parser)
+    _add_metrics_argument(parser)
     args = parser.parse_args(argv)
+    metric_names = _parse_metric_names(args.metrics, parser)
+    if metric_names is not None and args.no_spectrum:
+        parser.error(
+            "--no-spectrum only affects the default metric set; simply leave "
+            "lambda_1 / lambda_n_1 out of --metrics instead"
+        )
 
     graph = _load_graph(args.graph)
     series = DKSeries.from_graph(graph)
-    summary = summarize(graph, compute_spectrum=not args.no_spectrum, backend=args.backend)
 
     rows = [[key, value] for key, value in series.summary().items()]
     print(render_table(["dK-series quantity", "value"], rows, title=f"dK analysis of {args.graph}"))
     print()
-    print(scalar_metrics_table({"graph": summary}, title="Scalar metrics (Table 2 of the paper)"))
+    if metric_names is None:
+        summary = summarize(graph, compute_spectrum=not args.no_spectrum, backend=args.backend)
+        print(scalar_metrics_table({"graph": summary}, title="Scalar metrics (Table 2 of the paper)"))
+    else:
+        measurement = MeasurementPlan(metric_names).run(graph, backend=args.backend)
+        print(
+            _measurement_report(
+                {"graph": measurement}, metric_names, title="Selected metrics"
+            )
+        )
 
     if args.jdd_out:
         write_jdd(series.two_k.counts, args.jdd_out)
@@ -216,7 +310,14 @@ def dkcompare_main(argv: list[str] | None = None) -> int:
         "--no-spectrum", action="store_true", help="skip the Laplacian eigenvalues (faster)"
     )
     _add_backend_argument(parser)
+    _add_metrics_argument(parser)
     args = parser.parse_args(argv)
+    metric_names = _parse_metric_names(args.metrics, parser)
+    if metric_names is not None and args.no_spectrum:
+        parser.error(
+            "--no-spectrum only affects the default metric set; simply leave "
+            "lambda_1 / lambda_n_1 out of --metrics instead"
+        )
 
     graph_a = _load_graph(args.graph_a)
     graph_b = _load_graph(args.graph_b)
@@ -226,15 +327,23 @@ def dkcompare_main(argv: list[str] | None = None) -> int:
         rows.append([f"D_{d}", graph_dk_distance(graph_a, graph_b, d)])
     print(render_table(["dK distance", "value"], rows, title="dK distances between the graphs"))
     print()
-    columns = {
-        args.graph_a: summarize(
-            graph_a, compute_spectrum=not args.no_spectrum, backend=args.backend
-        ),
-        args.graph_b: summarize(
-            graph_b, compute_spectrum=not args.no_spectrum, backend=args.backend
-        ),
-    }
-    print(scalar_metrics_table(columns, title="Scalar metrics"))
+    if metric_names is None:
+        columns = {
+            args.graph_a: summarize(
+                graph_a, compute_spectrum=not args.no_spectrum, backend=args.backend
+            ),
+            args.graph_b: summarize(
+                graph_b, compute_spectrum=not args.no_spectrum, backend=args.backend
+            ),
+        }
+        print(scalar_metrics_table(columns, title="Scalar metrics"))
+    else:
+        plan = MeasurementPlan(metric_names)
+        columns = {
+            args.graph_a: plan.run(graph_a, backend=args.backend),
+            args.graph_b: plan.run(graph_b, backend=args.backend),
+        }
+        print(_measurement_report(columns, metric_names, title="Selected metrics"))
     return 0
 
 
@@ -308,6 +417,7 @@ def run_experiment_main(argv: list[str] | None = None) -> int:
         "--no-original", action="store_true", help="skip measuring the original topologies"
     )
     _add_backend_argument(parser)
+    _add_metrics_argument(parser)
     parser.add_argument("--json", help="write the full results document to this file")
     parser.add_argument(
         "--store",
@@ -322,9 +432,15 @@ def run_experiment_main(argv: list[str] | None = None) -> int:
         "and the store refreshed)",
     )
     args = parser.parse_args(argv)
+    metric_names = _parse_metric_names(args.metrics, parser)
 
     if args.resume and not args.store:
         parser.error("--resume requires --store DIR")
+    if metric_names is not None and args.spectrum:
+        parser.error(
+            "--spectrum only affects the default metric set; add lambda_1 and "
+            "lambda_n_1 to --metrics instead"
+        )
 
     try:
         spec = ExperimentSpec(
@@ -334,6 +450,7 @@ def run_experiment_main(argv: list[str] | None = None) -> int:
             replicates=args.replicates,
             seed=args.seed,
             include_original=not args.no_original,
+            metrics=metric_names,
             compute_spectrum=args.spectrum,
             distance_sources=args.distance_sources,
             dk_distances=args.dk_distances,

@@ -6,8 +6,10 @@ This module makes that protocol a first-class, batch-oriented API:
 
 * :class:`ExperimentSpec` declares the grid — topology names (or graphs, or
   edge-list paths), generator-registry method names, dK levels and a
-  replicate count — plus the measurement options (scalar metrics, spectrum,
-  dK distances, keeping the generated graphs).
+  replicate count — plus the measurement options: an à-la-carte metric set
+  (``metrics=``, evaluated by one measurement-planner run per graph; the
+  default is the paper's Table-2 battery), spectrum, dK distances, keeping
+  the generated graphs.
 * :func:`run_experiment` (or ``spec.run()``) executes every cell of the grid,
   optionally in parallel over ``workers`` processes.  Per-cell seeds are
   derived deterministically from the spec seed and the cell coordinates, so
@@ -43,6 +45,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -56,10 +59,12 @@ from repro.exceptions import ExperimentError
 from repro.generators.registry import get_generator, json_safe
 from repro.graph.io import read_edge_list
 from repro.graph.simple_graph import SimpleGraph
+from repro.measure.plan import Measurement, MeasurementPlan, is_scalar_battery
+from repro.measure.registry import available_metrics
 from repro.metrics.summary import ScalarMetrics
 from repro.store.artifact_store import ArtifactStore
 from repro.store.keys import code_version, generation_key, stable_hash
-from repro.store.memo import memoized_build, memoized_summarize
+from repro.store.memo import memoized_build, memoized_measure
 from repro.store.serialize import graph_content_hash
 from repro.topologies.registry import available_topologies, build_topology
 
@@ -103,10 +108,22 @@ class ExperimentSpec:
     skip_unsupported:
         Silently drop (method, d) combinations the method does not support
         (e.g. ``matching`` at d = 3); when false, such combinations raise.
+    metrics:
+        Which metrics to measure per generated graph, à la carte (names from
+        :func:`repro.measure.registry.available_metrics`; distribution
+        metrics like ``distance_distribution`` and ``betweenness_by_degree``
+        are allowed).  ``None`` — the default — selects the paper's full
+        Table-2 scalar battery (with the Laplacian extremes iff
+        ``compute_spectrum``).  An explicit empty tuple measures nothing.
+        All requested metrics are evaluated by one measurement-planner run
+        per graph, so shared intermediates (in particular the BFS sweep) are
+        computed once regardless of how many metrics consume them.
     collect_metrics:
-        Compute the paper's scalar-metric summary for every generated graph.
+        Deprecated boolean alias kept for backward compatibility:
+        ``collect_metrics=False`` is equivalent to ``metrics=()``.
     compute_spectrum:
-        Include the Laplacian eigenvalues in the summary (slowest metric).
+        Include the Laplacian eigenvalues in the default metric set (slowest
+        metric).  Ignored when an explicit ``metrics=`` is given.
     distance_sources:
         Number of sampled BFS sources for distance metrics (exact when None).
     dk_distances:
@@ -134,6 +151,7 @@ class ExperimentSpec:
     name: str = "experiment"
     include_original: bool = False
     skip_unsupported: bool = True
+    metrics: Sequence[str] | None = None
     collect_metrics: bool = True
     compute_spectrum: bool = False
     distance_sources: int | None = None
@@ -164,6 +182,35 @@ class ExperimentSpec:
             raise ExperimentError(
                 f"method name {ORIGINAL_METHOD!r} is reserved for include_original"
             )
+        if self.metrics is None:
+            if self.collect_metrics:
+                resolved = MeasurementPlan.table2(
+                    compute_spectrum=self.compute_spectrum
+                ).metrics
+            else:
+                warnings.warn(
+                    "collect_metrics=False is deprecated; use metrics=() instead",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+                resolved = ()
+        else:
+            resolved = tuple(dict.fromkeys(self.metrics))
+            if not self.collect_metrics and resolved:
+                # metrics=() with collect_metrics=False is consistent (and is
+                # what to_dict() round-trips); a non-empty selection is not
+                raise ExperimentError(
+                    "collect_metrics=False conflicts with a non-empty metrics= "
+                    "selection; drop the deprecated flag"
+                )
+            known = available_metrics()
+            unknown = [name for name in resolved if name not in known]
+            if unknown:
+                raise ExperimentError(
+                    f"unknown metric(s) {', '.join(map(repr, unknown))}; "
+                    f"available: {', '.join(known)}"
+                )
+        object.__setattr__(self, "metrics", resolved)
         if self.backend is not None and self.backend not in ("python", "csr", "auto"):
             raise ExperimentError(
                 f"backend must be 'python', 'csr' or 'auto', got {self.backend!r}"
@@ -239,7 +286,8 @@ class ExperimentSpec:
             "replicates": self.replicates,
             "seed": self.seed,
             "include_original": self.include_original,
-            "collect_metrics": self.collect_metrics,
+            "metrics": list(self.metrics),
+            "collect_metrics": bool(self.metrics),
             "compute_spectrum": self.compute_spectrum,
             "distance_sources": self.distance_sources,
             "dk_distances": self.dk_distances,
@@ -250,7 +298,14 @@ class ExperimentSpec:
 
 @dataclass
 class RunRecord:
-    """Measured outcome of one experiment cell."""
+    """Measured outcome of one experiment cell.
+
+    ``metrics`` carries the classic :class:`ScalarMetrics` block when the
+    cell was measured with the full Table-2 battery (the default);
+    ``measured`` carries the :class:`~repro.measure.plan.Measurement` of a
+    custom ``ExperimentSpec.metrics=`` subset (which may include
+    distribution metrics).  At most one of the two is set.
+    """
 
     topology: str
     method: str
@@ -261,9 +316,18 @@ class RunRecord:
     edges: int
     wall_time: float
     metrics: ScalarMetrics | None = None
+    measured: Measurement | None = None
     stats: dict[str, Any] = field(default_factory=dict)
     dk_distance: float | None = None
     graph: SimpleGraph | None = None
+
+    def metric_value(self, name: str, default: Any = None) -> Any:
+        """The measured value of one metric, whichever block holds it."""
+        if self.metrics is not None:
+            return getattr(self.metrics, name, default)
+        if self.measured is not None:
+            return self.measured.get(name, default)
+        return default
 
     def to_row(self, *, include_timing: bool = True) -> dict[str, Any]:
         """Flat, JSON-serializable view of the record (drops the graph).
@@ -283,6 +347,8 @@ class RunRecord:
             "stats": json_safe(self.stats),
             "metrics": None if self.metrics is None else json_safe(self.metrics.as_dict()),
         }
+        if self.measured is not None:
+            row["measured"] = json_safe(self.measured.to_jsonable())
         if include_timing:
             row["wall_time"] = float(self.wall_time)
         return row
@@ -434,8 +500,7 @@ def _cell_cache_key(spec: ExperimentSpec, cell: ExperimentCell, topology_hash: s
             "replicate": cell.replicate,
             "seed": cell.seed,
             "options": spec.generator_options.get(cell.method, {}),
-            "collect_metrics": spec.collect_metrics,
-            "compute_spectrum": spec.compute_spectrum,
+            "metrics": sorted(spec.metrics),
             "distance_sources": spec.distance_sources,
             "dk_distances": spec.dk_distances,
         }
@@ -459,8 +524,13 @@ def _record_from_cell_manifest(
     if not isinstance(row, dict):
         return None
     metrics_row = row.get("metrics")
-    if spec.collect_metrics and metrics_row is None:
-        return None
+    measured_row = row.get("measured")
+    if spec.metrics:
+        if is_scalar_battery(spec.metrics):
+            if metrics_row is None:
+                return None
+        elif measured_row is None:
+            return None
     graph = None
     if spec.keep_graphs:
         if cell.method == ORIGINAL_METHOD:
@@ -471,6 +541,16 @@ def _record_from_cell_manifest(
             if cached is None:
                 return None
             graph = cached[0]
+    measured = None
+    if measured_row is not None:
+        restored = Measurement.from_jsonable(measured_row)
+        # the cell key canonicalizes the metric set by sorting, so a spec
+        # listing the same metrics in another order matches this manifest:
+        # re-order to the *requesting* spec so restored and freshly computed
+        # records agree (e.g. for averaging)
+        if spec.metrics and set(restored.metrics) == set(spec.metrics):
+            restored = Measurement({name: restored[name] for name in spec.metrics})
+        measured = restored
     return RunRecord(
         topology=cell.topology,
         method=cell.method,
@@ -481,6 +561,7 @@ def _record_from_cell_manifest(
         edges=int(row["edges"]),
         wall_time=float(row.get("wall_time", 0.0)),
         metrics=None if metrics_row is None else ScalarMetrics(**metrics_row),
+        measured=measured,
         stats=dict(row.get("stats", {})),
         dk_distance=row.get("dk_distance"),
         graph=graph,
@@ -542,20 +623,25 @@ def _execute_cell(
         wall_time = generated.wall_time
 
     metrics = None
-    if spec.collect_metrics:
+    measured = None
+    if spec.metrics:
         # metrics draw from their own seed-derived stream, so a cell whose
         # generation step was served from the store measures identically to
         # one that generated from scratch
-        metrics = memoized_summarize(
+        measurement = memoized_measure(
             graph,
             store,
+            metrics=spec.metrics,
             graph_hash=graph_hash,
-            compute_spectrum=spec.compute_spectrum,
             distance_sources=spec.distance_sources,
             rng=np.random.default_rng((cell.seed, 1)),
             read=read_cache,
             backend=spec.backend,
         )
+        if is_scalar_battery(spec.metrics):
+            metrics = measurement.scalar_metrics()
+        else:
+            measured = measurement
     dk_dist = None
     if spec.dk_distances and cell.method != ORIGINAL_METHOD:
         dk_dist = float(graph_dk_distance(original, graph, cell.d))
@@ -570,6 +656,7 @@ def _execute_cell(
         edges=graph.number_of_edges,
         wall_time=wall_time,
         metrics=metrics,
+        measured=measured,
         stats=stats,
         dk_distance=dk_dist,
         graph=graph if spec.keep_graphs else None,

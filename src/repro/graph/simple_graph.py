@@ -44,7 +44,7 @@ class SimpleGraph:
         automatically enlarge the graph.
     """
 
-    __slots__ = ("_adj", "_edges", "_edge_pos", "_csr_cache")
+    __slots__ = ("_adj", "_edges", "_edge_pos", "_csr_cache", "_measure_cache")
 
     def __init__(self, n: int = 0, edges: Iterable[Edge] | None = None, *, grow: bool = False):
         if n < 0:
@@ -52,9 +52,12 @@ class SimpleGraph:
         self._adj: list[set[int]] = [set() for _ in range(n)]
         self._edges: list[Edge] = []
         self._edge_pos: dict[Edge, int] = {}
-        # CSR snapshot memoized by repro.kernels.csr.csr_graph; every
-        # mutation resets it so kernels never see a stale view
+        # CSR snapshot memoized by repro.kernels.csr.csr_graph, and the
+        # measurement-intermediate cache of repro.measure.intermediates
+        # (giant component, BFS sweep, triangle counts, ...); every mutation
+        # resets both so kernels never see a stale view
         self._csr_cache = None
+        self._measure_cache = None
         if edges is not None:
             for u, v in edges:
                 if grow:
@@ -83,6 +86,7 @@ class SimpleGraph:
         """Append an isolated node and return its id."""
         self._adj.append(set())
         self._csr_cache = None
+        self._measure_cache = None
         return len(self._adj) - 1
 
     def add_nodes(self, count: int) -> list[int]:
@@ -92,6 +96,7 @@ class SimpleGraph:
         first = len(self._adj)
         self._adj.extend(set() for _ in range(count))
         self._csr_cache = None
+        self._measure_cache = None
         return list(range(first, first + count))
 
     def _check_node(self, u: int) -> None:
@@ -116,6 +121,7 @@ class SimpleGraph:
         self._edge_pos[edge] = len(self._edges)
         self._edges.append(edge)
         self._csr_cache = None
+        self._measure_cache = None
         return True
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -132,6 +138,7 @@ class SimpleGraph:
         self._edges.pop()
         del self._edge_pos[edge]
         self._csr_cache = None
+        self._measure_cache = None
 
     def has_edge(self, u: int, v: int) -> bool:
         """Return ``True`` when ``(u, v)`` is an edge of the graph."""
@@ -243,6 +250,7 @@ class SimpleGraph:
         self._edges = state["_edges"]
         self._edge_pos = state["_edge_pos"]
         self._csr_cache = None
+        self._measure_cache = None
 
     def __repr__(self) -> str:
         return (

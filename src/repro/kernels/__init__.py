@@ -3,10 +3,11 @@
 The public surface is the backend registry (:mod:`repro.kernels.backend`) —
 ``use_backend`` / ``resolve_backend`` / ``get_kernel`` — plus the cached CSR
 snapshot accessor :func:`repro.kernels.csr.csr_graph`.  The kernel modules
-(:mod:`~repro.kernels.bfs`, :mod:`~repro.kernels.triangles`,
-:mod:`~repro.kernels.correlations`, :mod:`~repro.kernels.betweenness`) are
-imported lazily by the registry so NumPy is only required when the CSR
-backend is actually used.
+(:mod:`~repro.kernels.bfs`, :mod:`~repro.kernels.sweep` — the unified
+distance+betweenness sweep behind the measurement planner —
+:mod:`~repro.kernels.triangles`, :mod:`~repro.kernels.correlations`,
+:mod:`~repro.kernels.betweenness`) are imported lazily by the registry so
+NumPy is only required when the CSR backend is actually used.
 """
 
 from repro.kernels.backend import (

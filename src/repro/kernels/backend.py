@@ -82,6 +82,10 @@ _KERNELS: dict[tuple[str, str], Callable] = {}
 _KERNEL_MODULES: dict[tuple[str, str], str] = {
     ("bfs_histogram", "python"): "repro.metrics.distances",
     ("bfs_histogram", "csr"): "repro.kernels.bfs",
+    # the unified sweep behind the measurement planner: one traversal
+    # yields the distance histogram and (optionally) Brandes betweenness
+    ("bfs_sweep", "python"): "repro.kernels.sweep_python",
+    ("bfs_sweep", "csr"): "repro.kernels.sweep",
     ("triangles_per_node", "python"): "repro.kernels.triangles_python",
     ("triangles_per_node", "csr"): "repro.kernels.triangles",
     ("edge_degree_moments", "python"): "repro.kernels.correlations_python",

@@ -26,7 +26,13 @@ from repro.kernels.bfs import _gather_neighbors
 from repro.kernels.csr import CSRGraph, csr_graph
 
 
-def _accumulate_source(csr: CSRGraph, source: int, centrality: np.ndarray) -> None:
+def _accumulate_source(csr: CSRGraph, source: int, centrality: np.ndarray) -> np.ndarray:
+    """One Brandes source: accumulate into ``centrality``, return distances.
+
+    The returned hop-distance array (-1 when unreachable) is the byproduct
+    the unified ``bfs_sweep`` kernel histograms, so a combined
+    distance+betweenness request costs a single traversal.
+    """
     n = csr.n
     distances = np.full(n, -1, dtype=np.int64)
     distances[source] = 0
@@ -60,6 +66,7 @@ def _accumulate_source(csr: CSRGraph, source: int, centrality: np.ndarray) -> No
         np.add.at(delta, predecessors, contribution)
     delta[source] = 0.0
     centrality += delta
+    return distances
 
 
 @register_kernel("betweenness_accumulate", "csr")

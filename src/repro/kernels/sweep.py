@@ -1,0 +1,48 @@
+"""CSR unified BFS sweep: distance histogram + optional betweenness.
+
+Without betweenness the sweep is the bit-parallel batched histogram BFS of
+:mod:`repro.kernels.bfs` (64 sources per word).  With betweenness it runs
+the vectorized per-source Brandes pass of :mod:`repro.kernels.betweenness`
+and bin-counts the hop-distance array that pass computes anyway, so a
+combined distance+betweenness request performs a single traversal.  The
+integer pair counts are identical in both modes and identical to the
+pure-Python kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.simple_graph import SimpleGraph
+from repro.kernels.backend import register_kernel
+from repro.kernels.betweenness import _accumulate_source
+from repro.kernels.bfs import bfs_histogram
+from repro.kernels.csr import csr_graph
+
+
+@register_kernel("bfs_sweep", "csr")
+def bfs_sweep(
+    graph: SimpleGraph, source_nodes: Sequence[int], want_betweenness: bool
+) -> tuple[dict[int, int], list[float] | None]:
+    """One sweep over ``source_nodes``: ``(distance histogram, centrality)``."""
+    if not want_betweenness:
+        return bfs_histogram(graph, source_nodes), None
+    csr = csr_graph(graph)
+    centrality = np.zeros(csr.n, dtype=np.float64)
+    counts = np.zeros(1, dtype=np.int64)
+    for source in source_nodes:
+        distances = _accumulate_source(csr, source, centrality)
+        reached = distances[distances >= 0]
+        per_source = np.bincount(reached)
+        if len(per_source) > len(counts):
+            grown = np.zeros(len(per_source), dtype=np.int64)
+            grown[: len(counts)] = counts
+            counts = grown
+        counts[: len(per_source)] += per_source
+    histogram = {d: int(c) for d, c in enumerate(counts) if c}
+    return histogram, [float(value) for value in centrality]
+
+
+__all__ = ["bfs_sweep"]

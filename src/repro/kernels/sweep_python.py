@@ -1,0 +1,44 @@
+"""Pure-Python unified BFS sweep: distance histogram + optional betweenness.
+
+The reference implementation of the ``bfs_sweep`` kernel.  Without
+betweenness it is exactly the per-source queue-BFS histogram sweep; with
+betweenness it runs Brandes' single-source accumulation and histograms the
+hop distances that pass computes anyway — one traversal either way.  The
+integer pair counts are identical in both modes (and identical to the CSR
+kernel), which is what keeps every derived distance metric bit-identical
+across backends and metric subsets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graph.simple_graph import SimpleGraph
+from repro.kernels.backend import register_kernel
+from repro.metrics.betweenness import brandes_source
+from repro.metrics.distances import _bfs_histogram_python
+
+
+@register_kernel("bfs_sweep", "python")
+def bfs_sweep(
+    graph: SimpleGraph, source_nodes: Sequence[int], want_betweenness: bool
+) -> tuple[dict[int, int], list[float] | None]:
+    """One sweep over ``source_nodes``: ``(distance histogram, centrality)``.
+
+    ``centrality`` is the raw Brandes accumulation (``None`` unless
+    ``want_betweenness``); scaling and normalization are applied by the
+    shared code in :mod:`repro.metrics.betweenness`.
+    """
+    if not want_betweenness:
+        return _bfs_histogram_python(graph, list(source_nodes)), None
+    centrality = [0.0] * graph.number_of_nodes
+    histogram: dict[int, int] = {}
+    for s in source_nodes:
+        for distance in brandes_source(graph, s, centrality):
+            if distance < 0:
+                continue
+            histogram[distance] = histogram.get(distance, 0) + 1
+    return histogram, centrality
+
+
+__all__ = ["bfs_sweep"]

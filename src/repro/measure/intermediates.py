@@ -1,0 +1,178 @@
+"""Shared measurement intermediates: compute each heavy traversal once.
+
+Every scalar metric of the paper's Table 2 (and every distribution of its
+figures) is a thin formula over a handful of expensive intermediates:
+
+* the **giant connected component** the paper measures on,
+* ONE **BFS sweep** feeding d̄, σ_d, d(x), the diameter *and* (optionally)
+  Brandes betweenness — the unified ``bfs_sweep`` kernel walks the graph a
+  single time and returns both the distance histogram and the raw
+  betweenness accumulation,
+* one **triangle pass** feeding C̄ / C(k) / transitivity,
+* one **edge-degree-moments pass** feeding r, S and (via the wedge total) S2,
+* the optional Laplacian **spectrum** extremes.
+
+This module owns those intermediates.  Each ``shared_*`` helper computes its
+quantity through the kernel backend registry (:mod:`repro.kernels.backend`)
+and memoizes the result on the graph instance (``_measure_cache`` slot,
+invalidated by every mutation, keyed by the *resolved* backend so the
+python/csr equivalence suite keeps exercising both implementations).  The
+metric functions in :mod:`repro.metrics` and the declarative planner in
+:mod:`repro.measure.plan` all draw from the same cache, so e.g. a standalone
+``mean_distance`` call followed by ``distance_std`` performs one BFS sweep,
+not two.
+
+Sampled sweeps (``sources`` < n) are *not* cached across calls: a fresh call
+with a fresh ``rng`` must draw a fresh source sample, exactly as before.
+Within one planner run the sample is drawn once and shared by every metric
+that consumes it.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.graph.components import giant_component
+from repro.graph.simple_graph import SimpleGraph
+from repro.kernels.backend import dispatch, resolve_backend
+from repro.utils.rng import RngLike
+
+
+class SweepResult(NamedTuple):
+    """Outcome of one unified BFS sweep.
+
+    ``histogram`` maps hop distance to the raw (source, node) pair count —
+    unscaled, self-pairs included at distance 0, unreachable pairs excluded,
+    keys sorted ascending.  ``centrality`` is the raw Brandes accumulation
+    per node (``None`` when betweenness was not requested).  ``scale`` is the
+    ``n / len(sources)`` factor of a sampled sweep (1.0 when exact).
+    """
+
+    histogram: dict[int, int]
+    centrality: list[float] | None
+    scale: float
+
+
+def _cache(graph: SimpleGraph) -> dict:
+    """The per-graph intermediate cache (created on first use)."""
+    cache = graph._measure_cache
+    if cache is None:
+        cache = {}
+        graph._measure_cache = cache
+    return cache
+
+
+def clear_measure_cache(graph: SimpleGraph) -> None:
+    """Drop every cached intermediate of ``graph`` (benchmark/test helper)."""
+    graph._measure_cache = None
+
+
+def shared_target(graph: SimpleGraph, *, use_giant_component: bool = True) -> SimpleGraph:
+    """The measurement target: the giant component (cached) or the graph."""
+    if not use_giant_component:
+        return graph
+    cache = _cache(graph)
+    target = cache.get("gcc")
+    if target is None:
+        target = giant_component(graph)
+        cache["gcc"] = target
+    return target
+
+
+def shared_sweep(
+    graph: SimpleGraph,
+    *,
+    sources: int | None = None,
+    rng: RngLike = None,
+    backend: str | None = None,
+    want_betweenness: bool = False,
+) -> SweepResult:
+    """The unified BFS sweep of ``graph`` (one traversal, cached when exact).
+
+    ``want_betweenness=False`` runs the plain distance-histogram sweep;
+    ``want_betweenness=True`` runs the Brandes accumulation, whose BFS yields
+    the exact same integer histogram as a byproduct.  A cached
+    histogram-only sweep is upgraded (recomputed once, with betweenness)
+    when betweenness is later requested on the same graph.
+    """
+    n = graph.number_of_nodes
+    if n == 0:
+        return SweepResult({}, [] if want_betweenness else None, 1.0)
+    # deferred to avoid a module cycle (distances imports this module)
+    from repro.metrics.distances import sample_sources
+
+    exact = sources is None or sources >= n
+    concrete = resolve_backend(graph, backend)
+    key = ("sweep", concrete)
+    if exact:
+        cached = _cache(graph).get(key)
+        if cached is not None and (cached.centrality is not None or not want_betweenness):
+            return cached
+    source_nodes, scale = sample_sources(n, sources, rng)
+    histogram, centrality = dispatch("bfs_sweep", graph, backend)(
+        graph, source_nodes, want_betweenness
+    )
+    result = SweepResult(dict(sorted(histogram.items())), centrality, scale)
+    if exact:
+        _cache(graph)[key] = result
+    return result
+
+
+def shared_triangles(graph: SimpleGraph, *, backend: str | None = None) -> list[int]:
+    """Per-node triangle counts (one triangle pass, cached)."""
+    key = ("triangles", resolve_backend(graph, backend))
+    cache = _cache(graph)
+    counts = cache.get(key)
+    if counts is None:
+        counts = dispatch("triangles_per_node", graph, backend)(graph)
+        cache[key] = counts
+    return counts
+
+
+def shared_edge_moments(
+    graph: SimpleGraph, *, backend: str | None = None
+) -> tuple[int, int, int]:
+    """``(Σ k_u·k_v, Σ (k_u+k_v), Σ (k_u²+k_v²))`` over edges (cached)."""
+    key = ("edge_moments", resolve_backend(graph, backend))
+    cache = _cache(graph)
+    moments = cache.get(key)
+    if moments is None:
+        moments = dispatch("edge_degree_moments", graph, backend)(graph)
+        cache[key] = moments
+    return moments
+
+
+def shared_second_order(graph: SimpleGraph, *, backend: str | None = None) -> int:
+    """The ordered-wedge degree-product total (twice S2; cached)."""
+    key = ("second_order", resolve_backend(graph, backend))
+    cache = _cache(graph)
+    total = cache.get(key)
+    if total is None:
+        total = dispatch("second_order_total", graph, backend)(graph)
+        cache[key] = total
+    return total
+
+
+def shared_spectrum(graph: SimpleGraph) -> tuple[float, float]:
+    """``(λ_1, λ_{n-1})`` of the normalized Laplacian (cached)."""
+    cache = _cache(graph)
+    extremes = cache.get("spectrum")
+    if extremes is None:
+        # deferred so everything else imports without scipy
+        from repro.metrics.spectrum import extreme_eigenvalues
+
+        extremes = extreme_eigenvalues(graph)
+        cache["spectrum"] = extremes
+    return extremes
+
+
+__all__ = [
+    "SweepResult",
+    "clear_measure_cache",
+    "shared_target",
+    "shared_sweep",
+    "shared_triangles",
+    "shared_edge_moments",
+    "shared_second_order",
+    "shared_spectrum",
+]

@@ -12,13 +12,42 @@ from __future__ import annotations
 
 from repro.graph.simple_graph import SimpleGraph
 from repro.graph.subgraphs import iter_triangles
-from repro.kernels.backend import dispatch
+from repro.measure.intermediates import shared_edge_moments, shared_second_order
+
+
+def likelihood_from_moments(moments: tuple[int, int, int]) -> float:
+    """``S`` from the edge-degree-moment triple (shared formula layer)."""
+    return float(moments[0])
+
+
+def assortativity_from_moments(m: int, moments: tuple[int, int, int]) -> float:
+    """Newman's ``r`` from the edge-degree moments (shared formula layer).
+
+    The integer edge-degree sums come from the backend kernel; this float
+    arithmetic is shared, so both backends return the same bits (the
+    intermediate half-sums are halves of integers, exact in binary floats).
+    """
+    if m == 0:
+        return 0.0
+    sum_prod, sum_ends, sum_ends_sq = moments
+    sum_half = 0.5 * sum_ends
+    sum_half_sq = 0.5 * sum_ends_sq
+    mean_half = sum_half / m
+    numerator = sum_prod / m - mean_half**2
+    denominator = sum_half_sq / m - mean_half**2
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def second_order_from_total(total: int) -> float:
+    """``S2`` from the ordered-wedge total (shared formula layer)."""
+    return 0.5 * total
 
 
 def likelihood(graph: SimpleGraph, *, backend: str | None = None) -> float:
     """``S = Σ_{(u,v) in E} k_u k_v``."""
-    sum_prod, _, _ = dispatch("edge_degree_moments", graph, backend)(graph)
-    return float(sum_prod)
+    return likelihood_from_moments(shared_edge_moments(graph, backend=backend))
 
 
 def s_max_upper_bound(graph: SimpleGraph) -> float:
@@ -52,24 +81,11 @@ def normalized_likelihood(graph: SimpleGraph) -> float:
 
 def assortativity(graph: SimpleGraph, *, backend: str | None = None) -> float:
     """Newman's assortativity coefficient ``r`` (Pearson correlation of
-    degrees at the two ends of a randomly chosen edge).
-
-    The integer edge-degree sums come from the backend kernel; the float
-    arithmetic below is shared, so both backends return the same bits (the
-    intermediate half-sums are halves of integers, exact in binary floats).
-    """
+    degrees at the two ends of a randomly chosen edge)."""
     m = graph.number_of_edges
     if m == 0:
         return 0.0
-    sum_prod, sum_ends, sum_ends_sq = dispatch("edge_degree_moments", graph, backend)(graph)
-    sum_half = 0.5 * sum_ends
-    sum_half_sq = 0.5 * sum_ends_sq
-    mean_half = sum_half / m
-    numerator = sum_prod / m - mean_half**2
-    denominator = sum_half_sq / m - mean_half**2
-    if denominator == 0:
-        return 0.0
-    return numerator / denominator
+    return assortativity_from_moments(m, shared_edge_moments(graph, backend=backend))
 
 
 def second_order_likelihood(graph: SimpleGraph, *, backend: str | None = None) -> float:
@@ -81,7 +97,7 @@ def second_order_likelihood(graph: SimpleGraph, *, backend: str | None = None) -
     the paper's extreme metrics).  The kernel returns the integer sum over
     *ordered* pairs; halving it here gives the unordered-pair value.
     """
-    return 0.5 * dispatch("second_order_total", graph, backend)(graph)
+    return second_order_from_total(shared_second_order(graph, backend=backend))
 
 
 def second_order_likelihood_open(graph: SimpleGraph) -> float:
@@ -134,6 +150,9 @@ def assortativity_from_likelihood(graph: SimpleGraph) -> float:
 
 
 __all__ = [
+    "likelihood_from_moments",
+    "assortativity_from_moments",
+    "second_order_from_total",
     "likelihood",
     "s_max_upper_bound",
     "normalized_likelihood",

@@ -6,6 +6,12 @@ averaged per degree* against node degree (Figures 6b and 9).  The
 implementation below is Brandes' single-source accumulation, with optional
 source sampling for large graphs; networkx is used in the test-suite as an
 oracle but not here.
+
+The heavy traversal is obtained from the shared measurement-intermediate
+layer (:mod:`repro.measure.intermediates`): one unified BFS sweep produces
+both the distance histogram and the raw betweenness accumulation, so a
+caller (or a :class:`~repro.measure.plan.MeasurementPlan`) that wants
+distance metrics *and* betweenness pays for a single traversal.
 """
 
 from __future__ import annotations
@@ -13,9 +19,38 @@ from __future__ import annotations
 from collections import deque
 
 from repro.graph.simple_graph import SimpleGraph
-from repro.kernels.backend import dispatch, register_kernel
-from repro.metrics.distances import sample_sources
+from repro.kernels.backend import register_kernel
+from repro.measure.intermediates import shared_sweep
 from repro.utils.rng import RngLike
+
+
+def finalize_betweenness(
+    centrality: list[float], n: int, scale: float, *, normalized: bool
+) -> list[float]:
+    """Shared scaling of a raw Brandes accumulation.
+
+    Each undirected pair is counted from both endpoints when all sources are
+    used, hence the ``1/2``; ``scale`` is the Brandes–Pich sampling factor
+    ``n / sources``; normalization divides by the ``(n-1)(n-2)/2`` ordered
+    pairs excluding the node itself (networkx's undirected convention).
+    """
+    factor = scale / 2.0
+    values = [value * factor for value in centrality]
+    if normalized and n > 2:
+        norm = (n - 1) * (n - 2) / 2.0
+        values = [value / norm for value in values]
+    return values
+
+
+def group_mean_by_degree(graph: SimpleGraph, values: list[float]) -> dict[int, float]:
+    """Mean of a per-node quantity grouped by node degree (sorted keys)."""
+    sums: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for node in graph.nodes():
+        k = graph.degree(node)
+        sums[k] = sums.get(k, 0.0) + values[node]
+        counts[k] = counts.get(k, 0) + 1
+    return {k: sums[k] / counts[k] for k in sorted(sums)}
 
 
 def node_betweenness(
@@ -41,16 +76,47 @@ def node_betweenness(
     n = graph.number_of_nodes
     if n == 0:
         return []
-    source_nodes, scale_factor = sample_sources(n, sources, rng)
-    centrality = dispatch("betweenness_accumulate", graph, backend)(graph, source_nodes)
-    # each undirected pair was counted from both endpoints when all sources
-    # are used; halve to match the usual definition
-    factor = scale_factor / 2.0
-    centrality = [value * factor for value in centrality]
-    if normalized and n > 2:
-        norm = (n - 1) * (n - 2) / 2.0
-        centrality = [value / norm for value in centrality]
-    return centrality
+    sweep = shared_sweep(
+        graph, sources=sources, rng=rng, backend=backend, want_betweenness=True
+    )
+    return finalize_betweenness(sweep.centrality, n, sweep.scale, normalized=normalized)
+
+
+def brandes_source(graph: SimpleGraph, s: int, centrality: list[float]) -> list[int]:
+    """One Brandes source: accumulate into ``centrality``, return distances.
+
+    The reference (pure-Python) single-source pass.  The returned hop
+    distances (-1 when unreachable) are the byproduct the unified
+    ``bfs_sweep`` kernel turns into the distance histogram.
+    """
+    n = graph.number_of_nodes
+    # single-source shortest-path counting (unweighted BFS variant)
+    stack: list[int] = []
+    predecessors: list[list[int]] = [[] for _ in range(n)]
+    sigma = [0.0] * n
+    sigma[s] = 1.0
+    distance = [-1] * n
+    distance[s] = 0
+    queue = deque([s])
+    while queue:
+        v = queue.popleft()
+        stack.append(v)
+        for w in graph.neighbors(v):
+            if distance[w] < 0:
+                distance[w] = distance[v] + 1
+                queue.append(w)
+            if distance[w] == distance[v] + 1:
+                sigma[w] += sigma[v]
+                predecessors[w].append(v)
+    # accumulation
+    delta = [0.0] * n
+    while stack:
+        w = stack.pop()
+        for v in predecessors[w]:
+            delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
+        if w != s:
+            centrality[w] += delta[w]
+    return distance
 
 
 @register_kernel("betweenness_accumulate", "python")
@@ -58,35 +124,9 @@ def _betweenness_accumulate_python(
     graph: SimpleGraph, source_nodes: list[int]
 ) -> list[float]:
     """Reference Brandes accumulation: raw dependency sums per source."""
-    n = graph.number_of_nodes
-    centrality = [0.0] * n
+    centrality = [0.0] * graph.number_of_nodes
     for s in source_nodes:
-        # single-source shortest-path counting (unweighted BFS variant)
-        stack: list[int] = []
-        predecessors: list[list[int]] = [[] for _ in range(n)]
-        sigma = [0.0] * n
-        sigma[s] = 1.0
-        distance = [-1] * n
-        distance[s] = 0
-        queue = deque([s])
-        while queue:
-            v = queue.popleft()
-            stack.append(v)
-            for w in graph.neighbors(v):
-                if distance[w] < 0:
-                    distance[w] = distance[v] + 1
-                    queue.append(w)
-                if distance[w] == distance[v] + 1:
-                    sigma[w] += sigma[v]
-                    predecessors[w].append(v)
-        # accumulation
-        delta = [0.0] * n
-        while stack:
-            w = stack.pop()
-            for v in predecessors[w]:
-                delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
-            if w != s:
-                centrality[w] += delta[w]
+        brandes_source(graph, s, centrality)
     return centrality
 
 
@@ -102,13 +142,9 @@ def betweenness_by_degree(
     values = node_betweenness(
         graph, normalized=normalized, sources=sources, rng=rng, backend=backend
     )
-    sums: dict[int, float] = {}
-    counts: dict[int, int] = {}
-    for node in graph.nodes():
-        k = graph.degree(node)
-        sums[k] = sums.get(k, 0.0) + values[node]
-        counts[k] = counts.get(k, 0) + 1
-    return {k: sums[k] / counts[k] for k in sorted(sums)}
+    if not values:
+        return {}
+    return group_mean_by_degree(graph, values)
 
 
 def edge_betweenness(
@@ -154,4 +190,11 @@ def edge_betweenness(
     return centrality
 
 
-__all__ = ["node_betweenness", "betweenness_by_degree", "edge_betweenness"]
+__all__ = [
+    "node_betweenness",
+    "betweenness_by_degree",
+    "edge_betweenness",
+    "brandes_source",
+    "finalize_betweenness",
+    "group_mean_by_degree",
+]

@@ -1,21 +1,22 @@
 """Clustering metrics: local clustering, C(k), mean clustering C̄, transitivity.
 
-Per-node triangle counts dispatch through the kernel backend registry; the
-counts are exact integers on every backend, and the coefficient arithmetic
-below is shared, so clustering values are backend-independent bit for bit.
+Per-node triangle counts come from the shared measurement-intermediate layer
+(:mod:`repro.measure.intermediates`), which dispatches through the kernel
+backend registry and caches the single triangle pass on the graph — so
+``mean_clustering`` followed by ``transitivity`` (or a planner run asking
+for both) counts triangles once.  The counts are exact integers on every
+backend, and the coefficient arithmetic below is shared, so clustering
+values are backend-independent bit for bit.
 """
 
 from __future__ import annotations
 
 from repro.graph.simple_graph import SimpleGraph
-from repro.kernels.backend import dispatch
+from repro.measure.intermediates import shared_triangles
 
 
-def local_clustering_coefficients(
-    graph: SimpleGraph, *, backend: str | None = None
-) -> list[float]:
-    """Local clustering coefficient of every node (0 for degree < 2)."""
-    triangles = dispatch("triangles_per_node", graph, backend)(graph)
+def coefficients_from_triangles(graph: SimpleGraph, triangles: list[int]) -> list[float]:
+    """Local clustering coefficients from per-node triangle counts."""
     values = []
     for node in graph.nodes():
         k = graph.degree(node)
@@ -24,6 +25,13 @@ def local_clustering_coefficients(
         else:
             values.append(2.0 * triangles[node] / (k * (k - 1)))
     return values
+
+
+def local_clustering_coefficients(
+    graph: SimpleGraph, *, backend: str | None = None
+) -> list[float]:
+    """Local clustering coefficient of every node (0 for degree < 2)."""
+    return coefficients_from_triangles(graph, shared_triangles(graph, backend=backend))
 
 
 def mean_clustering(graph: SimpleGraph, *, backend: str | None = None) -> float:
@@ -50,17 +58,24 @@ def clustering_by_degree(
     return {k: sums[k] / counts[k] for k in sorted(sums)}
 
 
-def transitivity(graph: SimpleGraph, *, backend: str | None = None) -> float:
-    """Global transitivity ``3 * triangles / (number of connected triples)``."""
+def transitivity_from_triangles(graph: SimpleGraph, triangles: list[int]) -> float:
+    """Global transitivity from per-node triangle counts (shared formula)."""
     triples = sum(k * (k - 1) // 2 for k in graph.degrees())
     if triples == 0:
         return 0.0
     # each triangle is counted once per member node
-    triangle_total = sum(dispatch("triangles_per_node", graph, backend)(graph)) // 3
+    triangle_total = sum(triangles) // 3
     return 3.0 * triangle_total / triples
 
 
+def transitivity(graph: SimpleGraph, *, backend: str | None = None) -> float:
+    """Global transitivity ``3 * triangles / (number of connected triples)``."""
+    return transitivity_from_triangles(graph, shared_triangles(graph, backend=backend))
+
+
 __all__ = [
+    "coefficients_from_triangles",
+    "transitivity_from_triangles",
     "local_clustering_coefficients",
     "mean_clustering",
     "clustering_by_degree",

@@ -2,14 +2,20 @@
 
 The distance distribution is the fraction of node pairs at each hop distance
 (the paper normalizes by ``n²`` with self-pairs included, so ``d(0) = 1/n``).
-The BFS sweep dispatches through the kernel backend registry
-(:mod:`repro.kernels.backend`): the pure-Python queue BFS below, or the
-vectorized frontier BFS of :mod:`repro.kernels.bfs` — both produce the exact
-same integer pair counts, so every derived float is backend-independent.
+The BFS sweep is obtained from the shared measurement-intermediate layer
+(:mod:`repro.measure.intermediates`), which dispatches the unified
+``bfs_sweep`` kernel through the backend registry — the pure-Python queue
+BFS below, or the vectorized frontier BFS of :mod:`repro.kernels.bfs` — and
+caches the exact sweep on the graph instance.  Both backends produce the
+exact same integer pair counts, so every derived float is
+backend-independent, and consecutive calls (``mean_distance`` then
+``distance_std``, say) reuse one sweep instead of traversing twice.
+
 For large graphs a uniformly sampled subset of source nodes can be used;
 sources are always drawn **without replacement** (duplicate sources would
 double-count their rows of the distance matrix and skew d(x)) and the sample
-is clamped to the node count.
+is clamped to the node count.  Sampled sweeps are never cached across calls:
+each call with a fresh ``rng`` draws a fresh sample.
 """
 
 from __future__ import annotations
@@ -18,7 +24,8 @@ import math
 from collections import deque
 
 from repro.graph.simple_graph import SimpleGraph
-from repro.kernels.backend import dispatch, register_kernel
+from repro.kernels.backend import register_kernel
+from repro.measure.intermediates import shared_sweep
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -66,6 +73,35 @@ def sample_sources(n: int, sources: int | None, rng: RngLike = None) -> tuple[li
     return [int(x) for x in chosen], n / sources
 
 
+def scale_histogram(histogram: dict[int, int], scale: float) -> dict[int, int]:
+    """Scale a sampled sweep's raw counts up to the full graph (rounded)."""
+    if scale == 1.0:
+        return dict(histogram)
+    return {d: int(round(c * scale)) for d, c in histogram.items()}
+
+
+def histogram_mean(histogram: dict[int, int], *, include_self_pairs: bool = False) -> float:
+    """Mean hop distance of a pair-count histogram (shared formula layer)."""
+    if not include_self_pairs:
+        histogram = {d: c for d, c in histogram.items() if d > 0}
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    return sum(d * c for d, c in histogram.items()) / total
+
+
+def histogram_std(histogram: dict[int, int], *, include_self_pairs: bool = False) -> float:
+    """Standard deviation of a pair-count histogram (shared formula layer)."""
+    if not include_self_pairs:
+        histogram = {d: c for d, c in histogram.items() if d > 0}
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    mean = sum(d * c for d, c in histogram.items()) / total
+    variance = sum(c * (d - mean) ** 2 for d, c in histogram.items()) / total
+    return math.sqrt(variance)
+
+
 def distance_histogram(
     graph: SimpleGraph,
     *,
@@ -81,14 +117,18 @@ def distance_histogram(
     Unreachable pairs are excluded.  Self-pairs (distance 0) are included,
     following the paper's convention.
     """
-    n = graph.number_of_nodes
-    if n == 0:
+    if graph.number_of_nodes == 0:
         return {}
-    source_nodes, scale = sample_sources(n, sources, rng)
-    histogram = dispatch("bfs_histogram", graph, backend)(graph, source_nodes)
-    if scale != 1.0:
-        histogram = {d: int(round(c * scale)) for d, c in histogram.items()}
-    return histogram
+    sweep = shared_sweep(graph, sources=sources, rng=rng, backend=backend)
+    return scale_histogram(sweep.histogram, sweep.scale)
+
+
+def distribution_from_histogram(histogram: dict[int, int]) -> dict[int, float]:
+    """Normalized ``d(x)`` from a pair-count histogram (shared formula)."""
+    total = sum(histogram.values())
+    if total == 0:
+        return {}
+    return {d: c / total for d, c in sorted(histogram.items())}
 
 
 def distance_distribution(
@@ -104,10 +144,7 @@ def distance_distribution(
     values sum to one for a connected graph.
     """
     histogram = distance_histogram(graph, sources=sources, rng=rng, backend=backend)
-    total = sum(histogram.values())
-    if total == 0:
-        return {}
-    return {d: c / total for d, c in sorted(histogram.items())}
+    return distribution_from_histogram(histogram)
 
 
 def mean_distance(
@@ -120,12 +157,7 @@ def mean_distance(
 ) -> float:
     """Average shortest-path distance ``d̄`` over reachable pairs."""
     histogram = distance_histogram(graph, sources=sources, rng=rng, backend=backend)
-    if not include_self_pairs:
-        histogram = {d: c for d, c in histogram.items() if d > 0}
-    total = sum(histogram.values())
-    if total == 0:
-        return 0.0
-    return sum(d * c for d, c in histogram.items()) / total
+    return histogram_mean(histogram, include_self_pairs=include_self_pairs)
 
 
 def distance_std(
@@ -138,14 +170,7 @@ def distance_std(
 ) -> float:
     """Standard deviation ``σ_d`` of the distance distribution."""
     histogram = distance_histogram(graph, sources=sources, rng=rng, backend=backend)
-    if not include_self_pairs:
-        histogram = {d: c for d, c in histogram.items() if d > 0}
-    total = sum(histogram.values())
-    if total == 0:
-        return 0.0
-    mean = sum(d * c for d, c in histogram.items()) / total
-    variance = sum(c * (d - mean) ** 2 for d, c in histogram.items()) / total
-    return math.sqrt(variance)
+    return histogram_std(histogram, include_self_pairs=include_self_pairs)
 
 
 def diameter(
@@ -168,6 +193,10 @@ def eccentricity(graph: SimpleGraph, source: int) -> int:
 __all__ = [
     "bfs_distances",
     "sample_sources",
+    "scale_histogram",
+    "histogram_mean",
+    "histogram_std",
+    "distribution_from_histogram",
     "distance_histogram",
     "distance_distribution",
     "mean_distance",

@@ -17,17 +17,19 @@ Largest Laplacian eigenvalue          ``λ_{n-1}``
 averages several instances (the paper averages over 100 random seeds).
 Metrics are computed on the giant connected component by default, as in the
 paper's evaluation.
+
+Since the measurement-planner refactor, ``summarize`` is a thin veneer over
+:meth:`repro.measure.MeasurementPlan.table2`: the giant component is
+extracted once, ONE BFS sweep feeds d̄ and σ_d, one triangle pass feeds C̄
+and one edge-moments pass feeds r/S — with every value bit-identical to the
+metric-at-a-time computation on both kernel backends.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-from repro.graph.components import giant_component
 from repro.graph.simple_graph import SimpleGraph
-from repro.metrics.assortativity import assortativity, likelihood, second_order_likelihood
-from repro.metrics.clustering import mean_clustering
-from repro.metrics.distances import distance_std, mean_distance
 from repro.utils.rng import RngLike
 
 
@@ -71,7 +73,8 @@ def summarize(
         graph, as the paper notes for Table 6.
     distance_sources:
         Optional number of sampled BFS sources for the distance metrics
-        (exact sweep when ``None``).
+        (exact sweep when ``None``).  The sample is drawn once and shared by
+        d̄ and σ_d.
     compute_spectrum:
         Skip the Laplacian eigenvalues (the most expensive part for large
         graphs) when false; the two fields are then reported as 0.
@@ -81,40 +84,35 @@ def summarize(
         every backend, so this is a pure performance knob — it must never be
         part of a result cache key.
     """
-    target = giant_component(graph) if use_giant_component else graph
-    if compute_spectrum:
-        # deferred so the summary (and its callers) import without scipy
-        from repro.metrics.spectrum import extreme_eigenvalues
+    # deferred: repro.measure.plan imports the other metric modules
+    from repro.measure.plan import MeasurementPlan
 
-        lambda_1, lambda_n_1 = extreme_eigenvalues(target)
-    else:
-        lambda_1, lambda_n_1 = 0.0, 0.0
-    return ScalarMetrics(
-        nodes=target.number_of_nodes,
-        edges=target.number_of_edges,
-        average_degree=target.average_degree(),
-        assortativity=assortativity(target, backend=backend),
-        mean_clustering=mean_clustering(target, backend=backend),
-        mean_distance=mean_distance(target, sources=distance_sources, rng=rng, backend=backend),
-        distance_std=distance_std(target, sources=distance_sources, rng=rng, backend=backend),
-        likelihood=likelihood(target, backend=backend),
-        second_order_likelihood=second_order_likelihood(target, backend=backend),
-        lambda_1=lambda_1,
-        lambda_n_1=lambda_n_1,
+    plan = MeasurementPlan.table2(
+        compute_spectrum=compute_spectrum,
+        use_giant_component=use_giant_component,
+        distance_sources=distance_sources,
     )
+    return plan.run(graph, rng=rng, backend=backend).scalar_metrics()
 
 
 def average_summaries(summaries: list[ScalarMetrics]) -> ScalarMetrics:
-    """Element-wise average of several summaries (multi-seed experiments)."""
+    """Element-wise average of several summaries (multi-seed experiments).
+
+    Integer-typed fields (``nodes``, ``edges``, and any integer field a
+    :class:`ScalarMetrics` subclass adds) are rounded back to ``int``; the
+    check handles both resolved annotations and the stringified ones PEP 563
+    produces under ``from __future__ import annotations``.
+    """
     if not summaries:
         raise ValueError("cannot average an empty list of summaries")
     count = len(summaries)
+    cls = type(summaries[0])
     averaged = {}
-    for f in fields(ScalarMetrics):
+    for f in fields(cls):
         total = sum(getattr(summary, f.name) for summary in summaries)
         value = total / count
-        averaged[f.name] = int(round(value)) if f.type is int or f.name in ("nodes", "edges") else value
-    return ScalarMetrics(**averaged)
+        averaged[f.name] = int(round(value)) if f.type in (int, "int") else value
+    return cls(**averaged)
 
 
 __all__ = ["ScalarMetrics", "summarize", "average_summaries"]

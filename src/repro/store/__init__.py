@@ -11,8 +11,10 @@ content key:
 * :mod:`repro.store.artifact_store` — :class:`ArtifactStore`, the on-disk
   content-addressed store with atomic, lock-free concurrent writes;
 * :mod:`repro.store.memo` — :func:`memoized_build` /
-  :func:`memoized_summarize` facades over the generator registry and
-  :func:`repro.metrics.summary.summarize`.
+  :func:`memoized_measure` / :func:`memoized_summarize` facades over the
+  generator registry and the measurement planner, with metric-granular
+  cache entries (widening a measured metric set computes only the new
+  metrics).
 
 :func:`repro.experiment.run_experiment` accepts ``store=`` / ``resume=`` to
 persist per-cell manifests and skip completed cells; the ``repro`` CLI
@@ -22,7 +24,7 @@ exposes the same via ``run-experiment --store DIR --resume`` and the
 
 from repro.store.artifact_store import ArtifactStore
 from repro.store.keys import code_version, generation_key, metric_key, stable_hash
-from repro.store.memo import memoized_build, memoized_summarize
+from repro.store.memo import memoized_build, memoized_measure, memoized_summarize
 from repro.store.serialize import (
     graph_content_hash,
     graph_from_bytes,
@@ -38,6 +40,7 @@ __all__ = [
     "metric_key",
     "stable_hash",
     "memoized_build",
+    "memoized_measure",
     "memoized_summarize",
     "graph_content_hash",
     "graph_from_bytes",

@@ -44,6 +44,7 @@ _NUMPY_ONLY = [
     "test_integration.py",
     "test_kernels.py",
     "test_matching.py",
+    "test_measure_plan.py",
     "test_metrics.py",
     "test_preserving.py",
     "test_properties.py",

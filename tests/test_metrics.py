@@ -253,3 +253,23 @@ class TestSummary:
         )
         with pytest.raises(ValueError):
             average_summaries([])
+
+    def test_average_summaries_rounds_every_int_field(self, hot_small):
+        # regression: under `from __future__ import annotations` field types
+        # are strings, so `f.type is int` was always False and int-rounding
+        # silently relied on a hardcoded ("nodes", "edges") name list —
+        # a new int field must round too, without being enumerated anywhere
+        from dataclasses import dataclass
+
+        @dataclass
+        class ExtendedMetrics(ScalarMetrics):
+            diameter: int = 0
+
+        base = summarize(hot_small, compute_spectrum=False)
+        a = ExtendedMetrics(**base.as_dict(), diameter=4)
+        b = ExtendedMetrics(**base.as_dict(), diameter=7)
+        averaged = average_summaries([a, b])
+        assert isinstance(averaged, ExtendedMetrics)
+        assert averaged.diameter == 6 and isinstance(averaged.diameter, int)
+        assert averaged.nodes == base.nodes and isinstance(averaged.nodes, int)
+        assert isinstance(averaged.average_degree, float)

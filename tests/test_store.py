@@ -225,15 +225,38 @@ def test_memoized_summarize_hits_cache(store, hot_small, monkeypatch):
 
     import repro.store.memo as memo
 
-    def boom(*args, **kwargs):
-        raise AssertionError("summarize should not be called on a warm cache")
+    def boom(self, *args, **kwargs):
+        raise AssertionError("no metric should be recomputed on a warm cache")
 
-    monkeypatch.setattr(memo, "summarize", boom)
+    monkeypatch.setattr(memo.MeasurementPlan, "run", boom)
     second = memoized_summarize(hot_small, store, compute_spectrum=False)
     assert second == first
-    # different metric params miss the cache (and here: blow up)
+    # a widened metric set misses the cache for the new metrics only
+    # (and here: the residual planner run blows up)
     with pytest.raises(AssertionError):
         memoized_summarize(hot_small, store, compute_spectrum=True)
+
+
+def test_memoized_summarize_widening_computes_only_new_metrics(store, hot_small, monkeypatch):
+    memoized_summarize(hot_small, store, compute_spectrum=False)
+    written = store.info()["metrics"]
+    assert written == 9
+
+    import repro.store.memo as memo
+
+    residual_runs = []
+    real_run = memo.MeasurementPlan.run
+
+    def spying_run(self, *args, **kwargs):
+        residual_runs.append(self.metrics)
+        return real_run(self, *args, **kwargs)
+
+    monkeypatch.setattr(memo.MeasurementPlan, "run", spying_run)
+    widened = memoized_summarize(hot_small, store, compute_spectrum=True)
+    # only the two Laplacian extremes were computed; the other nine reused
+    assert residual_runs == [("lambda_1", "lambda_n_1")]
+    assert store.info()["metrics"] == written + 2
+    assert widened.lambda_n_1 > 0.0
 
 
 def test_memoized_summarize_read_false_recomputes(store, triangle_graph):
