@@ -52,11 +52,19 @@ def record_result(
     *,
     n: int | None = None,
     m: int | None = None,
+    **extra: Any,
 ) -> None:
-    """Append one benchmark row; sizes are inferred from ``result`` if omitted."""
+    """Append one benchmark row; sizes are inferred from ``result`` if omitted.
+
+    ``extra`` fields are merged into the row verbatim — the service load-test
+    harness records latency percentiles, concurrency levels and cache hit
+    ratios this way.
+    """
     if n is None and m is None:
         n, m = _extract_shape(result)
-    _RESULTS.append({"bench": name, "wall_time": float(wall_time), "n": n, "m": m})
+    _RESULTS.append(
+        {"bench": name, "wall_time": float(wall_time), "n": n, "m": m, **extra}
+    )
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -1,0 +1,104 @@
+"""Topology service quickstart: a daemon, a client, and the shared cache.
+
+Starts the topology service in-process (the same daemon ``repro serve``
+runs), then drives it over HTTP with the async client:
+
+1. generate a dK-random graph — cold, the daemon runs the generator and
+   persists it to the artifact store;
+2. repeat the request — warm, the store answers without recomputing;
+3. fire eight identical requests concurrently against a *new* key — the
+   single-flight layer coalesces them onto one computation;
+4. measure a metric subset, submit an experiment grid as a background
+   job, poll it to completion, and read the service counters.
+
+Usage::
+
+    python examples/service_quickstart.py
+
+Against an already-running daemon (``repro serve --store artifacts/``),
+point a ``ServiceClient(host=..., port=...)`` at it instead of the
+in-process ``ServiceThread``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+
+from repro.service import ServiceConfig, ServiceThread
+from repro.service.client import ServiceClient
+
+
+async def drive(port: int) -> None:
+    async with ServiceClient(port=port) as client:
+        health = await client.healthz()
+        print(f"daemon up: version {health['version']}, store {health['store']}")
+
+        # 1. cold: the daemon builds the graph and persists it
+        request = dict(method="rewiring", topology="hot_small", d=2, seed=7)
+        out = await client.generate(**request)
+        print(
+            f"\ncold generate: cache={out['cache']}  "
+            f"n={out['nodes']} m={out['edges_count']}  "
+            f"wall={out['wall_time'] * 1000:.0f}ms"
+        )
+
+        # 2. warm: the identical request is a store read
+        out = await client.generate(**request)
+        print(f"warm generate: cache={out['cache']}  wall={out['wall_time'] * 1000:.0f}ms")
+
+        # 3. concurrent identical requests coalesce onto ONE computation
+        burst = await asyncio.gather(
+            *[
+                client.generate(method="rewiring", topology="hot_small", d=2, seed=8)
+                for _ in range(8)
+            ]
+        )
+        outcomes = sorted(out["cache"] for out in burst)
+        print(f"8-way identical burst: {outcomes}")
+
+        # 4a. measure a metric subset (per-metric store caching underneath)
+        measured = await client.measure(
+            metrics=("mean_distance", "distance_std", "assortativity"),
+            topology="hot_small",
+        )
+        print("\nmeasured:", {k: round(v, 4) for k, v in measured["metrics"].items()})
+
+        # 4b. an experiment grid as a background job
+        job = await client.submit_experiment(
+            {
+                "topologies": ["hot_small"],
+                "methods": ["rewiring", "pseudograph"],
+                "d_levels": [1, 2],
+                "replicates": 1,
+                "seed": 1,
+                "metrics": ["mean_distance", "mean_clustering"],
+            },
+            workers=2,
+        )
+        detail = await client.wait_for_experiment(job["id"])
+        progress = detail["progress"]
+        print(
+            f"\nexperiment job {detail['status']}: "
+            f"{progress['done']}/{progress['total']} cells "
+            f"({detail['cached_cells']} from store, "
+            f"{len(detail['records'])} result rows)"
+        )
+
+        stats = await client.stats()
+        print(
+            "service cache counters:",
+            {k: stats["cache"][k] for k in ("hit", "miss", "coalesced")},
+        )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        config = ServiceConfig(port=0, store=f"{tmp}/store", workers=4)
+        with ServiceThread(config) as daemon:
+            print(f"service listening on 127.0.0.1:{daemon.port}")
+            asyncio.run(drive(daemon.port))
+
+
+if __name__ == "__main__":
+    main()

@@ -25,8 +25,12 @@ Experiment pipeline:
   manifests into a content-addressed artifact store; ``--resume`` skips
   cells already completed there (so an interrupted grid picks up where it
   left off, and a repeated grid costs nothing).
-* ``cache`` -- inspect (``info``), prune (``gc``) or empty (``clear``) an
-  artifact store directory.
+* ``cache`` -- inspect (``info``, with ``--json`` for the machine-readable
+  document ``GET /v1/store/info`` also serves), prune (``gc``) or empty
+  (``clear``) an artifact store directory.
+* ``serve`` -- run the topology-as-a-service HTTP/JSON daemon over an
+  artifact store: request coalescing, admission control, background
+  experiment jobs (see :mod:`repro.service`).
 
 The generation method choices everywhere are derived from
 :mod:`repro.generators.registry`, so algorithms added with
@@ -37,6 +41,7 @@ The generation method choices everywhere are derived from
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -511,6 +516,12 @@ def cache_main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("action", choices=("info", "gc", "clear"))
     parser.add_argument("--store", required=True, help="artifact-store directory")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON (the same document GET /v1/store/info "
+        "serves) instead of a table",
+    )
     args = parser.parse_args(argv)
 
     if args.action == "clear":
@@ -521,7 +532,10 @@ def cache_main(argv: list[str] | None = None) -> int:
     try:
         store = ArtifactStore(args.store)
         if args.action == "info":
-            info = store.info()
+            info = store.info_dict()
+            if args.json:
+                print(json.dumps(info, indent=2, sort_keys=True))
+                return 0
             rows = [[key, value] for key, value in info.items()]
             print(render_table(["property", "value"], rows, title=f"Artifact store at {args.store}"))
         else:
@@ -531,6 +545,16 @@ def cache_main(argv: list[str] | None = None) -> int:
     except StoreError as error:
         raise SystemExit(str(error)) from None
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# serve
+# --------------------------------------------------------------------------- #
+def serve_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro serve``: the topology-service daemon."""
+    from repro.service.app import serve_main as _serve_main
+
+    return _serve_main(argv)
 
 
 _COMMANDS = {
@@ -543,13 +567,14 @@ _COMMANDS = {
     "methods": methods_main,
     "run-experiment": run_experiment_main,
     "cache": cache_main,
+    "serve": serve_main,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """Dispatch ``python -m repro.cli <command> ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    usage = "usage: python -m repro.cli {dist,gen,compare,methods,run-experiment,cache} ..."
+    usage = "usage: python -m repro.cli {dist,gen,compare,methods,run-experiment,cache,serve} ..."
     if not argv:
         print(usage, file=sys.stderr)
         return 2

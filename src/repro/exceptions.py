@@ -31,6 +31,27 @@ class StoreError(ReproError):
     """Raised for corrupt or inconsistent artifact-store contents."""
 
 
+class ExperimentInterrupted(ExperimentError):
+    """Raised when an experiment grid stops before completing every cell.
+
+    Carries the work that *did* finish: ``result`` is a partial
+    :class:`~repro.experiment.ExperimentResult` holding the records of every
+    completed cell, and ``reason`` is ``"cancelled"`` (a cooperative cancel
+    event was set) or ``"interrupt"`` (KeyboardInterrupt).  When the run used
+    an artifact store, every completed cell already wrote its manifest, so
+    re-running the same spec with ``resume=True`` picks up where it left off.
+    """
+
+    def __init__(self, message: str, *, result=None, reason: str = "cancelled"):
+        super().__init__(message)
+        self.result = result
+        self.reason = reason
+
+
+class ServiceError(ReproError):
+    """Raised for topology-service failures (bad requests, saturated pool...)."""
+
+
 class RewiringConvergenceWarning(RuntimeWarning):
     """Emitted when a rewiring Markov chain exhausts its attempt budget.
 
@@ -48,6 +69,8 @@ __all__ = [
     "GenerationError",
     "ConvergenceError",
     "ExperimentError",
+    "ExperimentInterrupted",
     "StoreError",
+    "ServiceError",
     "RewiringConvergenceWarning",
 ]

@@ -47,15 +47,15 @@ import json
 import time
 import warnings
 import zlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.distance import graph_dk_distance
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, ExperimentInterrupted
 from repro.generators.registry import get_generator, json_safe
 from repro.graph.io import read_edge_list
 from repro.graph.simple_graph import SimpleGraph
@@ -272,9 +272,13 @@ class ExperimentSpec:
         workers: int = 1,
         store: "ArtifactStore | str | Path | None" = None,
         resume: bool = True,
+        cancel: Any | None = None,
+        on_cell: Callable[[int, int], None] | None = None,
     ) -> "ExperimentResult":
         """Execute the experiment; see :func:`run_experiment`."""
-        return run_experiment(self, workers=workers, store=store, resume=resume)
+        return run_experiment(
+            self, workers=workers, store=store, resume=resume, cancel=cancel, on_cell=on_cell
+        )
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable description of the spec (graphs become labels)."""
@@ -675,6 +679,8 @@ def run_experiment(
     workers: int = 1,
     store: ArtifactStore | str | Path | None = None,
     resume: bool = True,
+    cancel: Any | None = None,
+    on_cell: Callable[[int, int], None] | None = None,
 ) -> ExperimentResult:
     """Execute every cell of ``spec``, optionally across worker processes.
 
@@ -691,6 +697,17 @@ def run_experiment(
     generated graph under different measurement options, the same graph
     measured in another grid) is reused at the graph/metric level.
     ``resume=False`` recomputes everything and refreshes the store.
+
+    ``cancel`` is an optional :class:`threading.Event`-like object (anything
+    with ``is_set()``) polled between cells: when it becomes set, no further
+    cells start, in-flight worker cells *finish* (and write their manifests),
+    queued ones are abandoned cleanly, and
+    :class:`~repro.exceptions.ExperimentInterrupted` is raised carrying the
+    partial :class:`ExperimentResult`.  A :class:`KeyboardInterrupt` is
+    handled the same way (``reason="interrupt"``) instead of leaving pool
+    workers mid-cell; either way a store-backed grid stays resumable.
+    ``on_cell(done, total)`` is invoked after the resume scan and after each
+    completed cell — the progress feed of the topology service's job manager.
 
     .. note::
        Worker processes see generators registered at import time.  On
@@ -737,27 +754,78 @@ def run_experiment(
                         continue
             pending.append((index, (cell, cell_key, topo_hash)))
 
+    cached_cells = len(cells) - len(pending)
+    completed = cached_cells
+    if on_cell is not None:
+        on_cell(completed, len(cells))
+
+    def _interrupted(reason: str) -> ExperimentInterrupted:
+        finished = [record for record in records if record is not None]
+        partial = ExperimentResult(
+            spec=spec,
+            records=finished,
+            workers=max(1, workers),
+            wall_time=time.perf_counter() - start,
+            cached_cells=cached_cells,
+        )
+        hint = (
+            "; completed cells are in the store, re-run with resume=True to continue"
+            if store is not None
+            else ""
+        )
+        return ExperimentInterrupted(
+            f"experiment {reason} after {len(finished)} of {len(cells)} cells{hint}",
+            result=partial,
+            reason=reason,
+        )
+
     if pending:
-        tasks = [task for _, task in pending]
         if workers <= 1:
-            fresh = [
-                _execute_cell(
-                    spec,
-                    cell,
-                    store=store,
-                    cell_key=cell_key,
-                    topology_hash=topo_hash,
-                    read_cache=resume,
-                )
-                for cell, cell_key, topo_hash in tasks
-            ]
+            try:
+                for index, (cell, cell_key, topo_hash) in pending:
+                    if cancel is not None and cancel.is_set():
+                        raise _interrupted("cancelled")
+                    records[index] = _execute_cell(
+                        spec,
+                        cell,
+                        store=store,
+                        cell_key=cell_key,
+                        topology_hash=topo_hash,
+                        read_cache=resume,
+                    )
+                    completed += 1
+                    if on_cell is not None:
+                        on_cell(completed, len(cells))
+            except KeyboardInterrupt:
+                # the in-flight cell is abandoned (no manifest written), but
+                # everything it memoized at the graph/metric level is kept
+                raise _interrupted("interrupt") from None
         else:
             with ProcessPoolExecutor(
                 max_workers=workers, initializer=_init_worker, initargs=(spec, store, resume)
             ) as executor:
-                fresh = list(executor.map(_execute_cell_in_worker, tasks))
-        for (index, _), record in zip(pending, fresh):
-            records[index] = record
+                future_map = {
+                    executor.submit(_execute_cell_in_worker, task): index
+                    for index, task in pending
+                }
+                reason = None
+                try:
+                    not_done = set(future_map)
+                    while not_done:
+                        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            records[future_map[future]] = future.result()
+                            completed += 1
+                            if on_cell is not None:
+                                on_cell(completed, len(cells))
+                        if cancel is not None and cancel.is_set() and not_done:
+                            reason = "cancelled"
+                            break
+                except KeyboardInterrupt:
+                    reason = "interrupt"
+                if reason is not None:
+                    _drain_after_interrupt(future_map, records)
+                    raise _interrupted(reason) from None
 
     wall_time = time.perf_counter() - start
     return ExperimentResult(
@@ -765,8 +833,28 @@ def run_experiment(
         records=records,  # type: ignore[arg-type]  # every slot is filled above
         workers=max(1, workers),
         wall_time=wall_time,
-        cached_cells=len(cells) - len(pending),
+        cached_cells=cached_cells,
     )
+
+
+def _drain_after_interrupt(future_map: Mapping[Any, int], records: list) -> None:
+    """Wind the pool down cleanly after a cancel/interrupt.
+
+    Queued cells are cancelled before they start; cells already running in a
+    worker are allowed to *finish* — they write their store manifests, so the
+    grid resumes past them — and their records are kept.
+    """
+    for future in future_map:
+        future.cancel()  # only queued futures can be cancelled; that is the point
+    for future, index in future_map.items():
+        if future.cancelled():
+            continue
+        try:
+            record = future.result()  # blocks until the running cell finishes
+        except BaseException:
+            continue  # the worker died mid-cell: that cell stays incomplete
+        if records[index] is None:
+            records[index] = record
 
 
 __all__ = [

@@ -1,0 +1,11 @@
+"""``python -m repro.service`` — start the daemon without the full CLI.
+
+The ``repro`` CLI imports NumPy transitively; this entry point only pulls in
+the service package, so a bare interpreter can still serve the pure-Python
+measurement path.
+"""
+
+from repro.service.app import serve_main
+
+if __name__ == "__main__":
+    raise SystemExit(serve_main())

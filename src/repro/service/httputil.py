@@ -1,0 +1,204 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The topology service speaks plain HTTP/JSON without any third-party web
+framework: this module owns the wire format — request parsing and response
+writing on the server side, request writing and response parsing on the
+client side — so :mod:`repro.service.app` and :mod:`repro.service.client`
+share one implementation.  Only the subset the service needs is supported:
+``GET``/``POST``/``DELETE``, ``Content-Length`` bodies (no chunked encoding)
+and keep-alive connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.exceptions import ServiceError
+
+#: Hard caps keeping a malformed or hostile peer from ballooning memory.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 65536
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HTTPError(ServiceError):
+    """A request that must be answered with an HTTP error status."""
+
+    def __init__(self, status: int, message: str, *, headers: Mapping[str, str] | None = None):
+        super().__init__(message)
+        self.status = status
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+    keep_alive: bool = True
+    params: dict[str, str] = field(default_factory=dict)  # route placeholders
+
+    def json(self) -> Any:
+        """Decode the body as JSON (an empty body decodes to ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HTTPError(400, f"request body is not valid JSON: {error}") from None
+
+
+async def _read_headers(reader: asyncio.StreamReader) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HTTPError(400, "header section too large")
+        if line in (b"\r\n", b"\n", b""):
+            return headers
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError:
+            raise HTTPError(400, "undecodable header line") from None
+        headers[name.strip().lower()] = value.strip()
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request; ``None`` when the peer closed the connection."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise HTTPError(400, "request line too long")
+    parts = line.decode("latin-1", "replace").split()
+    if len(parts) != 3:
+        raise HTTPError(400, f"malformed request line: {line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/"):
+        raise HTTPError(400, f"malformed HTTP version: {version!r}")
+
+    headers = await _read_headers(reader)
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query))
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HTTPError(400, f"malformed Content-Length: {length_header!r}") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HTTPError(400, f"unacceptable Content-Length: {length}")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None  # the peer hung up mid-body
+
+    connection = headers.get("connection", "").lower()
+    keep_alive = version != "HTTP/1.0" if connection == "" else connection != "close"
+    return Request(
+        method=method.upper(),
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+def encode_response(
+    status: int,
+    payload: Any,
+    *,
+    headers: Mapping[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one JSON response (status line + headers + body)."""
+    body = json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def encode_request(
+    method: str,
+    path: str,
+    payload: Any | None = None,
+    *,
+    host: str = "localhost",
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one client request (JSON body when ``payload`` is not None)."""
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    lines = [
+        f"{method.upper()} {path} HTTP/1.1",
+        f"Host: {host}",
+        "Accept: application/json",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if body:
+        lines.append("Content-Type: application/json")
+    lines.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def read_response(reader: asyncio.StreamReader) -> tuple[int, dict[str, str], bytes]:
+    """Parse one response into ``(status, headers, body)``."""
+    line = await reader.readline()
+    if not line:
+        raise ServiceError("connection closed before a response arrived")
+    parts = line.decode("latin-1", "replace").split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise ServiceError(f"malformed status line: {line!r}")
+    status = int(parts[1])
+    headers = await _read_headers(reader)
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body
+
+
+__all__ = [
+    "HTTPError",
+    "Request",
+    "read_request",
+    "encode_response",
+    "encode_request",
+    "read_response",
+    "MAX_BODY_BYTES",
+]

@@ -1,0 +1,116 @@
+"""In-process service telemetry: request counters and latency histograms.
+
+Everything here is plain data updated from the event loop (one thread), so
+no locking is needed.  :meth:`ServiceStats.to_dict` renders the snapshot the
+``GET /v1/stats`` endpoint returns: per-route request/error counts with
+p50/p95/p99 latencies, the cache hit/miss/coalesced counters of the
+single-flight layer, and admission-control state.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any
+
+
+class LatencyHistogram:
+    """Sliding window of observed latencies with on-demand percentiles.
+
+    A bounded deque of the most recent ``maxlen`` samples: percentile
+    queries sort a copy, which at the default window size is microseconds —
+    far simpler than maintaining bucketed histograms, and the sliding window
+    keeps the numbers describing *recent* traffic.
+    """
+
+    def __init__(self, maxlen: int = 4096):
+        self._samples: deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation (in seconds)."""
+        self._samples.append(seconds)
+        self.count += 1
+        self.total += seconds
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in 0..100) over the window."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary_ms(self) -> dict[str, float]:
+        """Count, mean and p50/p95/p99 of the window, in milliseconds."""
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": round(mean * 1000.0, 3),
+            "p50_ms": round(self.percentile(50) * 1000.0, 3),
+            "p95_ms": round(self.percentile(95) * 1000.0, 3),
+            "p99_ms": round(self.percentile(99) * 1000.0, 3),
+        }
+
+
+class ServiceStats:
+    """Aggregate counters of one daemon process."""
+
+    def __init__(self):
+        self.started = time.time()
+        self.requests: dict[str, dict[str, Any]] = {}
+        # single-flight cache accounting: "hit" = served warm from the store,
+        # "coalesced" = joined an in-flight identical computation,
+        # "miss" = computed fresh
+        self.cache = {"hit": 0, "miss": 0, "coalesced": 0}
+        self.rejected = 0  # admission-control 503s
+        self.timeouts = 0  # per-request deadline 504s
+
+    def _route(self, route: str) -> dict[str, Any]:
+        entry = self.requests.get(route)
+        if entry is None:
+            entry = {"count": 0, "errors": 0, "latency": LatencyHistogram()}
+            self.requests[route] = entry
+        return entry
+
+    def observe_request(self, route: str, status: int, seconds: float) -> None:
+        """Record one finished request against its route template."""
+        entry = self._route(route)
+        entry["count"] += 1
+        if status >= 400:
+            entry["errors"] += 1
+        entry["latency"].observe(seconds)
+
+    def record_cache(self, outcome: str) -> None:
+        """Count one cache outcome: ``hit``, ``miss`` or ``coalesced``."""
+        self.cache[outcome] += 1
+
+    def hit_ratio(self) -> float:
+        """Warm share of all keyed requests (hits + coalesced over total)."""
+        total = sum(self.cache.values())
+        if total == 0:
+            return 0.0
+        return (self.cache["hit"] + self.cache["coalesced"]) / total
+
+    def to_dict(self, **extra: Any) -> dict[str, Any]:
+        """JSON-ready snapshot; ``extra`` is merged in (jobs, admission...)."""
+        routes = {
+            route: {
+                "count": entry["count"],
+                "errors": entry["errors"],
+                **entry["latency"].summary_ms(),
+            }
+            for route, entry in sorted(self.requests.items())
+        }
+        return {
+            "uptime_s": round(time.time() - self.started, 3),
+            "requests": routes,
+            "cache": {**self.cache, "hit_ratio": round(self.hit_ratio(), 4)},
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            **extra,
+        }
+
+
+__all__ = ["LatencyHistogram", "ServiceStats"]

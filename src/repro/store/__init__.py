@@ -24,7 +24,12 @@ exposes the same via ``run-experiment --store DIR --resume`` and the
 
 from repro.store.artifact_store import ArtifactStore
 from repro.store.keys import code_version, generation_key, metric_key, stable_hash
-from repro.store.memo import memoized_build, memoized_measure, memoized_summarize
+from repro.store.memo import (
+    measure_entry_keys,
+    memoized_build,
+    memoized_measure,
+    memoized_summarize,
+)
 from repro.store.serialize import (
     graph_content_hash,
     graph_from_bytes,
@@ -39,6 +44,7 @@ __all__ = [
     "generation_key",
     "metric_key",
     "stable_hash",
+    "measure_entry_keys",
     "memoized_build",
     "memoized_measure",
     "memoized_summarize",

@@ -180,9 +180,20 @@ class ArtifactStore:
     # ------------------------------------------------------------------ #
     # maintenance
     # ------------------------------------------------------------------ #
-    def info(self) -> dict[str, Any]:
-        """Entry counts and total payload bytes per category."""
-        counts: dict[str, Any] = {"root": str(self.root), "schema": STORE_SCHEMA_VERSION}
+    def info_dict(self) -> dict[str, Any]:
+        """Machine-readable store summary: location, schema, code version,
+        entry counts and total payload bytes per category.
+
+        This is the single source for both ``repro cache info --json`` and
+        the topology service's ``GET /v1/store/info``, so tooling never has
+        to parse the human-oriented table.
+        """
+        counts: dict[str, Any] = {
+            "root": str(self.root),
+            "schema": STORE_SCHEMA_VERSION,
+            "code_version": code_version(),
+            "compress": self.compress,
+        }
         total_bytes = 0
         graph_count = 0
         graphs = self.root / "graphs"
@@ -200,6 +211,10 @@ class ArtifactStore:
             total_bytes += sum(path.stat().st_size for _, path in entries)
         counts["total_bytes"] = total_bytes
         return counts
+
+    def info(self) -> dict[str, Any]:
+        """Alias of :meth:`info_dict` (the historical name)."""
+        return self.info_dict()
 
     #: Temporaries younger than this are presumed to belong to a live writer.
     GC_TMP_AGE_SECONDS = 3600.0

@@ -53,6 +53,7 @@ _NUMPY_ONLY = [
     "test_rescaling.py",
     "test_rewiring_engine.py",
     "test_series.py",
+    "test_service.py",
     "test_stochastic.py",
     "test_store.py",
     "test_store_serialize.py",
