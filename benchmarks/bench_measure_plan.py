@@ -69,9 +69,9 @@ def sweep_counter(monkeypatch):
     calls = []
     real = kernel_backend.get_kernel("bfs_sweep", "csr")
 
-    def counting(graph, sources, want_betweenness):
+    def counting(graph, sources, want_betweenness, want_edge_load=False):
         calls.append(want_betweenness)
-        return real(graph, sources, want_betweenness)
+        return real(graph, sources, want_betweenness, want_edge_load)
 
     monkeypatch.setitem(kernel_backend._KERNELS, ("bfs_sweep", "csr"), counting)
     return calls

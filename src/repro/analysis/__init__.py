@@ -28,6 +28,7 @@ from repro.analysis.tables import (
     render_table,
     scalar_metrics_table,
     series_table,
+    workload_table,
 )
 
 __all__ = [
@@ -52,4 +53,5 @@ __all__ = [
     "render_table",
     "scalar_metrics_table",
     "series_table",
+    "workload_table",
 ]

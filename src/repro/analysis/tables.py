@@ -116,13 +116,17 @@ def experiment_table(
     column is blank when the experiment's metric set (``metrics=``) did not
     include it.
     """
-    grouped: dict[tuple[str, str, object], list] = {}
+    grouped: dict[tuple[str, str, object, object], list] = {}
     for record in result.records:
-        grouped.setdefault((record.topology, record.method, record.d), []).append(record)
+        key = (record.topology, record.method, record.d, record.scenario)
+        grouped.setdefault(key, []).append(record)
+    with_scenarios = any(key[3] is not None for key in grouped)
 
     headers = ["topology", "method", "d", "runs", "nodes", "edges", "kbar", "r", "dbar", "time_s"]
+    if with_scenarios:
+        headers.insert(3, "scenario")
     rows = []
-    for (topology, method, d), records in grouped.items():
+    for (topology, method, d, scenario), records in grouped.items():
         count = len(records)
         mean = lambda values: sum(values) / count  # noqa: E731
 
@@ -135,18 +139,73 @@ def experiment_table(
         kbar = scalar_column("average_degree")
         r = scalar_column("assortativity")
         dbar = scalar_column("mean_distance")
+        row = [
+            topology,
+            method,
+            "-" if d is None else d,
+            count,
+            round(mean([record.nodes for record in records])),
+            round(mean([record.edges for record in records])),
+            kbar,
+            r,
+            dbar,
+            format_value(mean([record.wall_time for record in records])),
+        ]
+        if with_scenarios:
+            row.insert(3, scenario or "none")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def workload_table(
+    result: "ExperimentResult",
+    *,
+    metrics: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a traffic-workload experiment: load/congestion per grid group.
+
+    One row per (topology, method, d, scenario) group, replicates averaged —
+    the "bottleneck load of d=0..3 reproductions vs the original topology,
+    intact and under attack" comparison of the workload subsystem.  Columns
+    are the scalar metrics of ``metrics`` (default: every scalar metric the
+    experiment measured).
+    """
+    from repro.measure.registry import get_metric_def
+
+    if metrics is None:
+        metrics = [
+            name
+            for name in result.spec.metrics
+            if get_metric_def(name).kind == "scalar"
+            and name not in ("nodes", "edges")
+        ]
+    grouped: dict[tuple[str, str, object, object], list] = {}
+    for record in result.records:
+        key = (record.topology, record.method, record.d, record.scenario)
+        grouped.setdefault(key, []).append(record)
+
+    headers = ["topology", "method", "d", "scenario", "runs", "nodes", "edges", *metrics]
+    rows = []
+    for (topology, method, d, scenario), records in grouped.items():
+        count = len(records)
+
+        def metric_column(name):
+            values = [record.metric_value(name) for record in records]
+            if any(value is None for value in values):
+                return "-"
+            return format_value(sum(values) / count)
+
         rows.append(
             [
                 topology,
                 method,
                 "-" if d is None else d,
+                scenario or "none",
                 count,
-                round(mean([record.nodes for record in records])),
-                round(mean([record.edges for record in records])),
-                kbar,
-                r,
-                dbar,
-                format_value(mean([record.wall_time for record in records])),
+                round(sum(record.nodes for record in records) / count),
+                round(sum(record.edges for record in records) / count),
+                *(metric_column(name) for name in metrics),
             ]
         )
     return render_table(headers, rows, title=title)
@@ -159,4 +218,5 @@ __all__ = [
     "scalar_metrics_table",
     "series_table",
     "experiment_table",
+    "workload_table",
 ]

@@ -25,6 +25,12 @@ Experiment pipeline:
   manifests into a content-addressed artifact store; ``--resume`` skips
   cells already completed there (so an interrupted grid picks up where it
   left off, and a repeated grid costs nothing).
+* ``workload`` -- the traffic-workload engine: route uniform shortest-path
+  demand over d=0..3 reproductions of a topology, intact and under failure
+  or attack scenarios (``--scenario hub_degree:0.05`` etc.), and compare
+  bottleneck load, congestion percentiles and effective throughput.  Shares
+  the experiment grid machinery, so ``--store``/``--resume`` give warm
+  restarts for free.
 * ``cache`` -- inspect (``info``, with ``--json`` for the machine-readable
   document ``GET /v1/store/info`` also serves), prune (``gc``) or empty
   (``clear``) an artifact store directory.
@@ -51,6 +57,7 @@ from repro.analysis.tables import (
     render_table,
     scalar_metrics_table,
     series_table,
+    workload_table,
 )
 from repro.core.distance import graph_dk_distance
 from repro.core.distributions import JointDegreeDistribution
@@ -150,7 +157,8 @@ def _measurement_report(columns: dict, names: tuple[str, ...], *, title: str) ->
                     title=f"{name} (distribution)",
                 )
             )
-        elif kind == "per_node":
+        elif kind in ("per_node", "per_edge"):
+            unit = "nodes" if kind == "per_node" else "edges"
             rows = []
             for label, column in columns.items():
                 values = column[name]
@@ -160,9 +168,9 @@ def _measurement_report(columns: dict, names: tuple[str, ...], *, title: str) ->
                 )
             parts.append(
                 render_table(
-                    ["graph", "nodes", "min", "mean", "max"],
+                    ["graph", unit, "min", "mean", "max"],
                     rows,
-                    title=f"{name} (per-node summary)",
+                    title=f"{name} ({kind.replace('_', '-')} summary)",
                 )
             )
     return "\n\n".join(parts)
@@ -506,6 +514,125 @@ def run_experiment_main(argv: list[str] | None = None) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# workload
+# --------------------------------------------------------------------------- #
+def workload_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro workload``: routing load under failure scenarios."""
+    from repro.workloads import WORKLOAD_METRICS
+    from repro.workloads.scenarios import SCENARIO_KINDS
+
+    parser = argparse.ArgumentParser(
+        prog="repro workload",
+        description="Route uniform traffic over d=0..3 reproductions of a "
+        "topology — intact and under failure/attack scenarios — and compare "
+        "bottleneck load, congestion percentiles and effective throughput.",
+    )
+    parser.add_argument(
+        "--topology",
+        action="append",
+        required=True,
+        help="edge-list file or registered topology name (repeatable)",
+    )
+    parser.add_argument(
+        "--method",
+        action="append",
+        choices=_method_choices(),
+        help="construction algorithm (repeatable; default: rewiring)",
+    )
+    parser.add_argument(
+        "-d",
+        action="append",
+        type=int,
+        choices=(0, 1, 2, 3),
+        dest="d_levels",
+        help="dK level (repeatable; default: 0 1 2 3)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        help="failure/attack scenario as 'kind:fraction' with kind in "
+        f"{{{', '.join(SCENARIO_KINDS)}}} (e.g. 'hub_degree:0.05'), or 'none' "
+        "for the intact graph (repeatable; default: none)",
+    )
+    parser.add_argument("--replicates", type=int, default=1, help="runs per grid cell")
+    parser.add_argument("--seed", type=int, default=0, help="base experiment seed")
+    parser.add_argument("--workers", type=int, default=1, help="parallel worker processes")
+    parser.add_argument(
+        "--distance-sources", type=int, default=None, help="sampled BFS sources for routing"
+    )
+    parser.add_argument(
+        "--no-original", action="store_true", help="skip measuring the original topologies"
+    )
+    _add_backend_argument(parser)
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        help="comma-separated workload metric subset (default: "
+        f"{','.join(WORKLOAD_METRICS)}); all selected metrics share one "
+        f"planner run; available: {', '.join(available_metrics())}",
+    )
+    parser.add_argument("--json", help="write the full results document to this file")
+    parser.add_argument(
+        "--store",
+        help="artifact-store directory: persist generated graphs, metrics and "
+        "per-cell manifests (content-addressed, safe across parallel workers)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: skip cells already completed in the store and "
+        "reuse memoized graphs/metrics (without it, everything is recomputed "
+        "and the store refreshed)",
+    )
+    args = parser.parse_args(argv)
+    metric_names = _parse_metric_names(args.metrics, parser)
+    if metric_names is None:
+        metric_names = WORKLOAD_METRICS
+
+    if args.resume and not args.store:
+        parser.error("--resume requires --store DIR")
+
+    try:
+        spec = ExperimentSpec(
+            topologies=tuple(args.topology),
+            methods=tuple(args.method or ("rewiring",)),
+            d_levels=tuple(args.d_levels or (0, 1, 2, 3)),
+            replicates=args.replicates,
+            seed=args.seed,
+            include_original=not args.no_original,
+            metrics=metric_names,
+            compute_spectrum=False,
+            distance_sources=args.distance_sources,
+            scenarios=tuple(args.scenario) if args.scenario else None,
+            backend=args.backend,
+        )
+        result = run_experiment(
+            spec, workers=args.workers, store=args.store, resume=args.resume
+        )
+
+        cached = f", {result.cached_cells} cell(s) from store" if args.store else ""
+        print(
+            workload_table(
+                result,
+                title=f"Workload: {len(result.records)} runs, "
+                f"{result.workers} worker(s), {result.wall_time:.2f}s{cached}",
+            )
+        )
+        for record in result.records:
+            _warn_unconverged_chain(
+                record.stats,
+                prefix=f"{record.topology} / {record.method} "
+                f"d={record.d} replicate={record.replicate}: the ",
+            )
+        if args.json:
+            Path(args.json).write_text(result.to_json())
+            print(f"\nresults written to {args.json}")
+    except (ExperimentError, StoreError) as error:
+        raise SystemExit(str(error)) from None
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # cache
 # --------------------------------------------------------------------------- #
 def cache_main(argv: list[str] | None = None) -> int:
@@ -566,6 +693,7 @@ _COMMANDS = {
     "dkcompare": dkcompare_main,
     "methods": methods_main,
     "run-experiment": run_experiment_main,
+    "workload": workload_main,
     "cache": cache_main,
     "serve": serve_main,
 }
@@ -574,7 +702,10 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """Dispatch ``python -m repro.cli <command> ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    usage = "usage: python -m repro.cli {dist,gen,compare,methods,run-experiment,cache,serve} ..."
+    usage = (
+        "usage: python -m repro.cli "
+        "{dist,gen,compare,methods,run-experiment,workload,cache,serve} ..."
+    )
     if not argv:
         print(usage, file=sys.stderr)
         return 2
@@ -596,6 +727,7 @@ __all__ = [
     "dkcompare_main",
     "methods_main",
     "run_experiment_main",
+    "workload_main",
     "cache_main",
     "main",
 ]

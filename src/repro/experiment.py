@@ -67,6 +67,7 @@ from repro.store.keys import code_version, generation_key, stable_hash
 from repro.store.memo import memoized_build, memoized_measure
 from repro.store.serialize import graph_content_hash
 from repro.topologies.registry import available_topologies, build_topology
+from repro.workloads.scenarios import Scenario, apply_scenario, scenario_label
 
 #: Method label reserved for the un-randomized input topology itself.
 ORIGINAL_METHOD = "original"
@@ -74,7 +75,11 @@ ORIGINAL_METHOD = "original"
 
 @dataclass(frozen=True)
 class ExperimentCell:
-    """One unit of work: (topology, method, d, replicate) plus its seed."""
+    """One unit of work: (topology, method, d, replicate) plus its seed.
+
+    ``scenario`` is the optional fault/attack transform applied to the
+    generated graph before measurement (``None`` = measure it intact).
+    """
 
     topology_index: int
     topology: str
@@ -82,6 +87,7 @@ class ExperimentCell:
     d: int | None
     replicate: int
     seed: int
+    scenario: Scenario | None = None
 
 
 @dataclass(frozen=True)
@@ -127,7 +133,16 @@ class ExperimentSpec:
     distance_sources:
         Number of sampled BFS sources for distance metrics (exact when None).
     dk_distances:
-        Record ``D_d(original, generated)`` for every generated graph.
+        Record ``D_d(original, generated)`` for every generated graph
+        (always of the intact graph, before any scenario is applied).
+    scenarios:
+        Optional fault/attack scenarios applied to each generated graph
+        before measurement, as a grid dimension: every entry — ``None`` (or
+        ``"none"``) for the intact baseline, a ``"kind:fraction"`` label
+        like ``"hub_degree:0.01"``, a ``{"kind", "fraction"}`` dict or a
+        :class:`~repro.workloads.scenarios.Scenario` — multiplies the grid.
+        ``None`` (the default) adds no scenario dimension at all and keeps
+        cell seeds and store keys identical to a scenario-free spec.
     keep_graphs:
         Keep the generated graphs on the records (never serialized).
     generator_options:
@@ -156,6 +171,7 @@ class ExperimentSpec:
     compute_spectrum: bool = False
     distance_sources: int | None = None
     dk_distances: bool = False
+    scenarios: Sequence[Any] | None = None
     keep_graphs: bool = False
     generator_options: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
     backend: str | None = None
@@ -211,6 +227,18 @@ class ExperimentSpec:
                     f"available: {', '.join(known)}"
                 )
         object.__setattr__(self, "metrics", resolved)
+        if self.scenarios is not None:
+            try:
+                parsed = tuple(
+                    dict.fromkeys(Scenario.parse(entry) for entry in self.scenarios)
+                )
+            except (ValueError, TypeError, KeyError) as error:
+                raise ExperimentError(f"bad scenario: {error}") from error
+            if not parsed:
+                raise ExperimentError(
+                    "scenarios=() is empty; use scenarios=None for no scenario dimension"
+                )
+            object.__setattr__(self, "scenarios", parsed)
         if self.backend is not None and self.backend not in ("python", "csr", "auto"):
             raise ExperimentError(
                 f"backend must be 'python', 'csr' or 'auto', got {self.backend!r}"
@@ -231,21 +259,33 @@ class ExperimentSpec:
         return str(entry)
 
     def cells(self) -> list[ExperimentCell]:
-        """Expand the grid into the deterministic list of work cells."""
+        """Expand the grid into the deterministic list of work cells.
+
+        Scenario cells deliberately share the seed of their baseline cell:
+        every scenario of one (topology, method, d, replicate) coordinate
+        degrades the *same* generated graph, so a scenario sweep compares
+        like with like — and generation is memoized once per coordinate, not
+        once per scenario.
+        """
+        scenario_axis: tuple[Scenario | None, ...] = (
+            (None,) if self.scenarios is None else tuple(self.scenarios)
+        )
         cells: list[ExperimentCell] = []
         for index in range(len(self.topologies)):
             label = self.topology_label(index)
             if self.include_original:
-                cells.append(
-                    ExperimentCell(
-                        topology_index=index,
-                        topology=label,
-                        method=ORIGINAL_METHOD,
-                        d=None,
-                        replicate=0,
-                        seed=_derive_seed(self.seed, index, ORIGINAL_METHOD, None, 0),
+                for scenario in scenario_axis:
+                    cells.append(
+                        ExperimentCell(
+                            topology_index=index,
+                            topology=label,
+                            method=ORIGINAL_METHOD,
+                            d=None,
+                            replicate=0,
+                            seed=_derive_seed(self.seed, index, ORIGINAL_METHOD, None, 0),
+                            scenario=scenario,
+                        )
                     )
-                )
             for method in self.methods:
                 spec = get_generator(method)
                 for d in self.d_levels:
@@ -253,17 +293,19 @@ class ExperimentSpec:
                         if self.skip_unsupported:
                             continue
                         spec.check_supports(d)
-                    for replicate in range(self.replicates):
-                        cells.append(
-                            ExperimentCell(
-                                topology_index=index,
-                                topology=label,
-                                method=method,
-                                d=d,
-                                replicate=replicate,
-                                seed=_derive_seed(self.seed, index, method, d, replicate),
+                    for scenario in scenario_axis:
+                        for replicate in range(self.replicates):
+                            cells.append(
+                                ExperimentCell(
+                                    topology_index=index,
+                                    topology=label,
+                                    method=method,
+                                    d=d,
+                                    replicate=replicate,
+                                    seed=_derive_seed(self.seed, index, method, d, replicate),
+                                    scenario=scenario,
+                                )
                             )
-                        )
         return cells
 
     def run(
@@ -295,6 +337,9 @@ class ExperimentSpec:
             "compute_spectrum": self.compute_spectrum,
             "distance_sources": self.distance_sources,
             "dk_distances": self.dk_distances,
+            "scenarios": None
+            if self.scenarios is None
+            else [scenario_label(scenario) for scenario in self.scenarios],
             "generator_options": {m: dict(o) for m, o in self.generator_options.items()},
             "backend": self.backend,
         }
@@ -323,6 +368,7 @@ class RunRecord:
     measured: Measurement | None = None
     stats: dict[str, Any] = field(default_factory=dict)
     dk_distance: float | None = None
+    scenario: str | None = None
     graph: SimpleGraph | None = None
 
     def metric_value(self, name: str, default: Any = None) -> Any:
@@ -351,6 +397,8 @@ class RunRecord:
             "stats": json_safe(self.stats),
             "metrics": None if self.metrics is None else json_safe(self.metrics.as_dict()),
         }
+        if self.scenario is not None:
+            row["scenario"] = self.scenario
         if self.measured is not None:
             row["measured"] = json_safe(self.measured.to_jsonable())
         if include_timing:
@@ -507,6 +555,12 @@ def _cell_cache_key(spec: ExperimentSpec, cell: ExperimentCell, topology_hash: s
             "metrics": sorted(spec.metrics),
             "distance_sources": spec.distance_sources,
             "dk_distances": spec.dk_distances,
+            # folded in only when set, so scenario-free keys stay unchanged
+            **(
+                {"scenario": cell.scenario.to_jsonable()}
+                if cell.scenario is not None
+                else {}
+            ),
         }
     )
 
@@ -545,6 +599,12 @@ def _record_from_cell_manifest(
             if cached is None:
                 return None
             graph = cached[0]
+        if cell.scenario is not None:
+            # the store holds the intact generated graph; the degraded copy
+            # is re-derived deterministically (same rng stream as execution)
+            graph, _ = apply_scenario(
+                graph, cell.scenario, rng=np.random.default_rng((cell.seed, 2))
+            )
     measured = None
     if measured_row is not None:
         restored = Measurement.from_jsonable(measured_row)
@@ -568,6 +628,7 @@ def _record_from_cell_manifest(
         measured=measured,
         stats=dict(row.get("stats", {})),
         dk_distance=row.get("dk_distance"),
+        scenario=row.get("scenario", scenario_label(cell.scenario) if cell.scenario else None),
         graph=graph,
     )
 
@@ -626,6 +687,18 @@ def _execute_cell(
         stats = generated.stats
         wall_time = generated.wall_time
 
+    intact = graph  # pre-scenario graph (dK distances are measured on this)
+    if cell.scenario is not None:
+        # degrade a copy; the intact graph (and its store entry) is untouched,
+        # so every scenario of this coordinate shares one generation.  The
+        # degraded graph gets its own content hash, so its metric entries
+        # memoize independently of the baseline's.
+        graph, scenario_stats = apply_scenario(
+            graph, cell.scenario, rng=np.random.default_rng((cell.seed, 2))
+        )
+        stats = {**stats, "scenario": scenario_stats}
+        graph_hash = graph_content_hash(graph) if store is not None else None
+
     metrics = None
     measured = None
     if spec.metrics:
@@ -648,7 +721,7 @@ def _execute_cell(
             measured = measurement
     dk_dist = None
     if spec.dk_distances and cell.method != ORIGINAL_METHOD:
-        dk_dist = float(graph_dk_distance(original, graph, cell.d))
+        dk_dist = float(graph_dk_distance(original, intact, cell.d))
 
     record = RunRecord(
         topology=cell.topology,
@@ -663,6 +736,7 @@ def _execute_cell(
         measured=measured,
         stats=stats,
         dk_distance=dk_dist,
+        scenario=scenario_label(cell.scenario) if cell.scenario is not None else None,
         graph=graph if spec.keep_graphs else None,
     )
     if store is not None and cell_key is not None:

@@ -22,16 +22,45 @@ import numpy as np
 
 from repro.graph.simple_graph import SimpleGraph
 from repro.kernels.backend import register_kernel
-from repro.kernels.bfs import _gather_neighbors
+from repro.kernels.bfs import _gather_arcs, _gather_neighbors
 from repro.kernels.csr import CSRGraph, csr_graph
 
 
-def _accumulate_source(csr: CSRGraph, source: int, centrality: np.ndarray) -> np.ndarray:
+def _arc_edge_ids(csr: CSRGraph) -> np.ndarray:
+    """Map every arc position of ``csr.indices`` to its canonical edge id.
+
+    Edge ids follow the *sorted* canonical edge list (``(u, v)`` with
+    ``u <= v``, ascending) — the content-stable order the workload layer
+    emits per-edge load vectors in, independent of the mutation history of
+    the underlying :class:`SimpleGraph`.
+    """
+    n = max(csr.n, 1)
+    origins = np.repeat(np.arange(csr.n, dtype=np.int64), csr.degrees)
+    arc_keys = (
+        np.minimum(origins, csr.indices) * n + np.maximum(origins, csr.indices)
+    )
+    edge_keys = np.sort(csr.edges_u.astype(np.int64) * n + csr.edges_v)
+    return np.searchsorted(edge_keys, arc_keys)
+
+
+def _accumulate_source(
+    csr: CSRGraph,
+    source: int,
+    centrality: np.ndarray,
+    *,
+    edge_load: np.ndarray | None = None,
+    arc_edge: np.ndarray | None = None,
+) -> np.ndarray:
     """One Brandes source: accumulate into ``centrality``, return distances.
 
     The returned hop-distance array (-1 when unreachable) is the byproduct
     the unified ``bfs_sweep`` kernel histograms, so a combined
     distance+betweenness request costs a single traversal.
+
+    When ``edge_load`` is given (indexed by the edge ids of ``arc_edge``,
+    see :func:`_arc_edge_ids`), the backward pass also scatter-adds each
+    dependency contribution onto the edge it crosses — per-edge bottleneck
+    load from the same traversal.
     """
     n = csr.n
     distances = np.full(n, -1, dtype=np.int64)
@@ -57,13 +86,16 @@ def _accumulate_source(csr: CSRGraph, source: int, centrality: np.ndarray) -> np
     delta = np.zeros(n, dtype=np.float64)
     for depth in range(level, 0, -1):
         nodes = frontiers[depth]
-        neighbors = _gather_neighbors(csr, nodes)
+        positions = _gather_arcs(csr, nodes)
+        neighbors = csr.indices[positions]
         origins = np.repeat(nodes, csr.degrees[nodes])
         upward = distances[neighbors] == depth - 1
         predecessors = neighbors[upward]
         successors = origins[upward]
         contribution = (sigma[predecessors] / sigma[successors]) * (1.0 + delta[successors])
         np.add.at(delta, predecessors, contribution)
+        if edge_load is not None:
+            np.add.at(edge_load, arc_edge[positions[upward]], contribution)
     delta[source] = 0.0
     centrality += delta
     return distances

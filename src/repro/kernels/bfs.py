@@ -46,12 +46,12 @@ def _popcount(words: np.ndarray) -> int:
     return int(per_byte @ _POPCOUNT)
 
 
-def _gather_neighbors(csr: CSRGraph, frontier: np.ndarray) -> np.ndarray:
-    """All neighbors of the frontier nodes, concatenated (with repeats)."""
+def _gather_arcs(csr: CSRGraph, frontier: np.ndarray) -> np.ndarray:
+    """Positions into ``csr.indices`` of every arc leaving the frontier nodes."""
     counts = csr.degrees[frontier]
     total = int(counts.sum())
     if total == 0:
-        return np.empty(0, dtype=csr.indices.dtype)
+        return np.empty(0, dtype=np.int64)
     starts = csr.indptr[frontier]
     row_offsets = np.empty(len(counts) + 1, dtype=np.int64)
     row_offsets[0] = 0
@@ -59,6 +59,14 @@ def _gather_neighbors(csr: CSRGraph, frontier: np.ndarray) -> np.ndarray:
     # position j of the output maps to indices[starts[row] + (j - row_offsets[row])]
     positions = np.arange(total, dtype=np.int64)
     positions += np.repeat(starts - row_offsets[:-1], counts)
+    return positions
+
+
+def _gather_neighbors(csr: CSRGraph, frontier: np.ndarray) -> np.ndarray:
+    """All neighbors of the frontier nodes, concatenated (with repeats)."""
+    positions = _gather_arcs(csr, frontier)
+    if positions.size == 0:
+        return np.empty(0, dtype=csr.indices.dtype)
     return csr.indices[positions]
 
 

@@ -17,23 +17,38 @@ import numpy as np
 
 from repro.graph.simple_graph import SimpleGraph
 from repro.kernels.backend import register_kernel
-from repro.kernels.betweenness import _accumulate_source
+from repro.kernels.betweenness import _accumulate_source, _arc_edge_ids
 from repro.kernels.bfs import bfs_histogram
 from repro.kernels.csr import csr_graph
 
 
 @register_kernel("bfs_sweep", "csr")
 def bfs_sweep(
-    graph: SimpleGraph, source_nodes: Sequence[int], want_betweenness: bool
-) -> tuple[dict[int, int], list[float] | None]:
-    """One sweep over ``source_nodes``: ``(distance histogram, centrality)``."""
-    if not want_betweenness:
-        return bfs_histogram(graph, source_nodes), None
+    graph: SimpleGraph,
+    source_nodes: Sequence[int],
+    want_betweenness: bool,
+    want_edge_load: bool = False,
+) -> tuple[dict[int, int], list[float] | None, list[float] | None]:
+    """One sweep over ``source_nodes``: ``(histogram, centrality, edge load)``.
+
+    ``edge_load`` is the raw per-edge dependency accumulation in sorted
+    canonical edge order (``None`` unless ``want_edge_load``), scatter-added
+    inside the same Brandes backward pass — betweenness + edge load together
+    still cost one traversal.
+    """
+    if not want_betweenness and not want_edge_load:
+        return bfs_histogram(graph, source_nodes), None, None
     csr = csr_graph(graph)
     centrality = np.zeros(csr.n, dtype=np.float64)
+    edge_load = arc_edge = None
+    if want_edge_load:
+        edge_load = np.zeros(graph.number_of_edges, dtype=np.float64)
+        arc_edge = _arc_edge_ids(csr)
     counts = np.zeros(1, dtype=np.int64)
     for source in source_nodes:
-        distances = _accumulate_source(csr, source, centrality)
+        distances = _accumulate_source(
+            csr, source, centrality, edge_load=edge_load, arc_edge=arc_edge
+        )
         reached = distances[distances >= 0]
         per_source = np.bincount(reached)
         if len(per_source) > len(counts):
@@ -42,7 +57,11 @@ def bfs_sweep(
             counts = grown
         counts[: len(per_source)] += per_source
     histogram = {d: int(c) for d, c in enumerate(counts) if c}
-    return histogram, [float(value) for value in centrality]
+    return (
+        histogram,
+        [float(value) for value in centrality],
+        None if edge_load is None else [float(value) for value in edge_load],
+    )
 
 
 __all__ = ["bfs_sweep"]

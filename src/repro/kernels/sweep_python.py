@@ -21,24 +21,39 @@ from repro.metrics.distances import _bfs_histogram_python
 
 @register_kernel("bfs_sweep", "python")
 def bfs_sweep(
-    graph: SimpleGraph, source_nodes: Sequence[int], want_betweenness: bool
-) -> tuple[dict[int, int], list[float] | None]:
-    """One sweep over ``source_nodes``: ``(distance histogram, centrality)``.
+    graph: SimpleGraph,
+    source_nodes: Sequence[int],
+    want_betweenness: bool,
+    want_edge_load: bool = False,
+) -> tuple[dict[int, int], list[float] | None, list[float] | None]:
+    """One sweep over ``source_nodes``: ``(histogram, centrality, edge load)``.
 
-    ``centrality`` is the raw Brandes accumulation (``None`` unless
-    ``want_betweenness``); scaling and normalization are applied by the
-    shared code in :mod:`repro.metrics.betweenness`.
+    ``centrality`` is the raw Brandes accumulation (``None`` only when the
+    plain histogram sweep ran, i.e. neither betweenness nor edge load was
+    requested); scaling and normalization are applied by the shared code in
+    :mod:`repro.metrics.betweenness`.  ``edge_load`` is the raw per-edge
+    dependency accumulation in *sorted canonical edge order* (``None``
+    unless ``want_edge_load``) — it rides on the same Brandes traversal, so
+    betweenness + edge load together still cost one sweep.
     """
-    if not want_betweenness:
-        return _bfs_histogram_python(graph, list(source_nodes)), None
+    if not want_betweenness and not want_edge_load:
+        return _bfs_histogram_python(graph, list(source_nodes)), None, None
     centrality = [0.0] * graph.number_of_nodes
+    edge_load: list[float] | None = None
+    edge_index: dict[tuple[int, int], int] | None = None
+    if want_edge_load:
+        edge_load = [0.0] * graph.number_of_edges
+        edge_index = {edge: i for i, edge in enumerate(sorted(graph.edge_list()))}
     histogram: dict[int, int] = {}
     for s in source_nodes:
-        for distance in brandes_source(graph, s, centrality):
+        distances = brandes_source(
+            graph, s, centrality, edge_load=edge_load, edge_index=edge_index
+        )
+        for distance in distances:
             if distance < 0:
                 continue
             histogram[distance] = histogram.get(distance, 0) + 1
-    return histogram, centrality
+    return histogram, centrality, edge_load
 
 
 __all__ = ["bfs_sweep"]

@@ -44,13 +44,17 @@ class SweepResult(NamedTuple):
     ``histogram`` maps hop distance to the raw (source, node) pair count —
     unscaled, self-pairs included at distance 0, unreachable pairs excluded,
     keys sorted ascending.  ``centrality`` is the raw Brandes accumulation
-    per node (``None`` when betweenness was not requested).  ``scale`` is the
+    per node (``None`` when the plain histogram sweep ran).  ``scale`` is the
     ``n / len(sources)`` factor of a sampled sweep (1.0 when exact).
+    ``edge_load`` is the raw per-edge dependency accumulation in sorted
+    canonical edge order (``None`` when edge load was not requested) — the
+    routing-load byproduct of the same Brandes traversal.
     """
 
     histogram: dict[int, int]
     centrality: list[float] | None
     scale: float
+    edge_load: list[float] | None = None
 
 
 def _cache(graph: SimpleGraph) -> dict:
@@ -86,33 +90,44 @@ def shared_sweep(
     rng: RngLike = None,
     backend: str | None = None,
     want_betweenness: bool = False,
+    want_edge_load: bool = False,
 ) -> SweepResult:
     """The unified BFS sweep of ``graph`` (one traversal, cached when exact).
 
     ``want_betweenness=False`` runs the plain distance-histogram sweep;
     ``want_betweenness=True`` runs the Brandes accumulation, whose BFS yields
-    the exact same integer histogram as a byproduct.  A cached
-    histogram-only sweep is upgraded (recomputed once, with betweenness)
-    when betweenness is later requested on the same graph.
+    the exact same integer histogram as a byproduct.  ``want_edge_load=True``
+    additionally accumulates per-edge routing load inside the same Brandes
+    backward pass.  A cached sweep missing a requested accumulation is
+    upgraded — recomputed once with the union of everything requested so
+    far, so no previously computed field is dropped from the cache.
     """
     n = graph.number_of_nodes
     if n == 0:
-        return SweepResult({}, [] if want_betweenness else None, 1.0)
+        empty_centrality = [] if (want_betweenness or want_edge_load) else None
+        return SweepResult({}, empty_centrality, 1.0, [] if want_edge_load else None)
     # deferred to avoid a module cycle (distances imports this module)
     from repro.metrics.distances import sample_sources
 
     exact = sources is None or sources >= n
     concrete = resolve_backend(graph, backend)
     key = ("sweep", concrete)
-    if exact:
-        cached = _cache(graph).get(key)
-        if cached is not None and (cached.centrality is not None or not want_betweenness):
-            return cached
+    cached = _cache(graph).get(key) if exact else None
+    if (
+        cached is not None
+        and (cached.centrality is not None or not want_betweenness)
+        and (cached.edge_load is not None or not want_edge_load)
+    ):
+        return cached
+    if cached is not None:
+        # upgrade: keep whatever accumulation the cached sweep already holds
+        want_betweenness = want_betweenness or cached.centrality is not None
+        want_edge_load = want_edge_load or cached.edge_load is not None
     source_nodes, scale = sample_sources(n, sources, rng)
-    histogram, centrality = dispatch("bfs_sweep", graph, backend)(
-        graph, source_nodes, want_betweenness
+    histogram, centrality, edge_load = dispatch("bfs_sweep", graph, backend)(
+        graph, source_nodes, want_betweenness, want_edge_load
     )
-    result = SweepResult(dict(sorted(histogram.items())), centrality, scale)
+    result = SweepResult(dict(sorted(histogram.items())), centrality, scale, edge_load)
     if exact:
         _cache(graph)[key] = result
     return result

@@ -177,8 +177,8 @@ def average_measurements(measurements: list[Measurement]) -> Measurement:
 
     Scalars are averaged (integer-valued ones rounded back to int);
     distributions are averaged key-wise over the union of keys (absent keys
-    count as 0); per-node vectors are averaged element-wise and must agree
-    in length.  The measurements must cover the same metric *set*; ordering
+    count as 0); per-node and per-edge vectors are averaged element-wise and
+    must agree in length.  The measurements must cover the same metric *set*; ordering
     may differ (e.g. store-restored cells written by a spec that listed the
     metrics in another order), the first measurement's order wins.
     """
@@ -204,11 +204,11 @@ def average_measurements(measurements: list[Measurement]) -> Measurement:
             averaged[name] = {
                 key: sum(value.get(key, 0.0) for value in values) / count for key in keys
             }
-        else:  # per_node
+        else:  # per_node / per_edge
             lengths = {len(value) for value in values}
             if len(lengths) > 1:
                 raise ValueError(
-                    f"cannot average per-node metric {name!r} over graphs of "
+                    f"cannot average {spec.kind} metric {name!r} over graphs of "
                     f"different sizes: {sorted(lengths)}"
                 )
             averaged[name] = [
@@ -256,14 +256,21 @@ class _RunContext:
     per run and shared by every metric that consumes it.
     """
 
-    __slots__ = ("target", "sources", "rng", "backend", "want_betweenness", "_memo")
+    __slots__ = (
+        "target", "sources", "rng", "backend",
+        "want_betweenness", "want_edge_load", "_memo",
+    )
 
-    def __init__(self, target, *, sources, rng, backend, want_betweenness):
+    def __init__(
+        self, target, *, sources, rng, backend, want_betweenness,
+        want_edge_load=False,
+    ):
         self.target = target
         self.sources = sources
         self.rng = rng
         self.backend = backend
         self.want_betweenness = want_betweenness
+        self.want_edge_load = want_edge_load
         self._memo: dict[str, object] = {}
 
     def sweep(self) -> SweepResult:
@@ -275,6 +282,7 @@ class _RunContext:
                 rng=self.rng,
                 backend=self.backend,
                 want_betweenness=self.want_betweenness,
+                want_edge_load=self.want_edge_load,
             )
             self._memo["sweep"] = result
         return result
@@ -302,6 +310,40 @@ class _RunContext:
                     sweep.centrality, n, sweep.scale, normalized=True
                 )
             self._memo["node_betweenness"] = values
+        return values
+
+    def edge_load(self) -> list[float]:
+        """Normalized per-edge routing load (sorted canonical edge order)."""
+        values = self._memo.get("edge_load")
+        if values is None:
+            from repro.workloads.routing import finalize_edge_load
+
+            n = self.target.number_of_nodes
+            if n == 0:
+                values = []
+            else:
+                sweep = self.sweep()
+                values = finalize_edge_load(
+                    sweep.edge_load, n, sweep.scale, normalized=True
+                )
+            self._memo["edge_load"] = values
+        return values
+
+    def node_load(self) -> list[float]:
+        """Raw per-node transit load (unnormalized betweenness), once per run."""
+        values = self._memo.get("node_load")
+        if values is None:
+            from repro.metrics.betweenness import finalize_betweenness
+
+            n = self.target.number_of_nodes
+            if n == 0:
+                values = []
+            else:
+                sweep = self.sweep()
+                values = finalize_betweenness(
+                    sweep.centrality, n, sweep.scale, normalized=False
+                )
+            self._memo["node_load"] = values
         return values
 
     def triangles(self) -> list[int]:
@@ -389,6 +431,7 @@ class MeasurementPlan:
             rng=rng,
             backend=backend,
             want_betweenness="betweenness" in needed,
+            want_edge_load="edge_load" in needed,
         )
         return Measurement(
             {name: get_metric_def(name).formula(ctx) for name in self.metrics}

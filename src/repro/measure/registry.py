@@ -16,7 +16,8 @@ bit-identical to the standalone metric functions on every backend.
 
 * ``"scalar"`` — one float (or int, see ``dtype``): the Table-2 battery;
 * ``"distribution"`` — an ``{x: y}`` mapping (d(x), betweenness per degree);
-* ``"per_node"`` — one value per node of the measured component.
+* ``"per_node"`` — one value per node of the measured component;
+* ``"per_edge"`` — one value per edge, in sorted canonical edge order.
 
 ``cache_params`` lists the measurement options that change the metric's
 value; the store's per-metric memoization folds exactly those into each
@@ -44,11 +45,14 @@ from repro.metrics.distances import (
     histogram_mean,
     histogram_std,
 )
+from repro.workloads.congestion import effective_throughput, load_percentile, max_load
+from repro.workloads.routing import canonical_edge_order, edge_load_by_degree
 
 #: Intermediate names a metric may declare in ``needs``.
 INTERMEDIATES = (
     "sweep",          # the unified BFS traversal (distance histogram)
     "betweenness",    # Brandes accumulation riding on the same traversal
+    "edge_load",      # per-edge routing load riding on the same traversal
     "triangles",      # per-node triangle counts
     "edge_moments",   # integer edge-degree moments
     "second_order",   # ordered-wedge degree-product total
@@ -61,7 +65,7 @@ class MetricDef:
     """One registered metric: its intermediates and its formula layer."""
 
     name: str
-    kind: str  # "scalar" | "distribution" | "per_node"
+    kind: str  # "scalar" | "distribution" | "per_node" | "per_edge"
     needs: tuple[str, ...]
     formula: Callable[[Any], Any]
     dtype: str = "float"  # "int" for integer-valued scalars
@@ -205,6 +209,56 @@ _metric(
     if ctx.target.number_of_nodes else {},
     cache_params=_SWEEP_PARAMS,
     description="mean normalized betweenness per degree — Figures 6b / 9",
+)
+
+
+# --------------------------------------------------------------------------- #
+# Traffic workload metrics (repro.workloads): shortest-path routing load and
+# congestion under uniform demand — all riding on the one shared Brandes sweep
+# --------------------------------------------------------------------------- #
+_metric(
+    "edge_load", "per_edge", ("sweep", "edge_load"),
+    lambda ctx: ctx.edge_load(),
+    cache_params=_SWEEP_PARAMS,
+    description="normalized per-edge routing load (sorted canonical edge order)",
+)
+_metric(
+    "max_edge_load", "scalar", ("sweep", "edge_load"),
+    lambda ctx: max_load(ctx.edge_load()),
+    cache_params=_SWEEP_PARAMS,
+    description="bottleneck: largest normalized edge load",
+)
+_metric(
+    "edge_load_p99", "scalar", ("sweep", "edge_load"),
+    lambda ctx: load_percentile(ctx.edge_load(), 99.0),
+    cache_params=_SWEEP_PARAMS,
+    description="99th-percentile normalized edge load",
+)
+_metric(
+    "effective_throughput", "scalar", ("sweep", "edge_load"),
+    lambda ctx: effective_throughput(ctx.edge_load()),
+    cache_params=_SWEEP_PARAMS,
+    description="uniform-demand rate sustainable before the bottleneck saturates",
+)
+_metric(
+    "edge_load_by_degree", "distribution", ("sweep", "edge_load"),
+    lambda ctx: edge_load_by_degree(
+        ctx.target, dict(zip(canonical_edge_order(ctx.target), ctx.edge_load()))
+    ),
+    cache_params=_SWEEP_PARAMS,
+    description="mean edge load per endpoint degree product k_u·k_v",
+)
+_metric(
+    "node_load", "per_node", ("sweep", "betweenness"),
+    lambda ctx: ctx.node_load(),
+    cache_params=_SWEEP_PARAMS,
+    description="raw per-node transit load (pair-count betweenness)",
+)
+_metric(
+    "max_node_load", "scalar", ("sweep", "betweenness"),
+    lambda ctx: max_load(ctx.node_load()),
+    cache_params=_SWEEP_PARAMS,
+    description="largest raw per-node transit load",
 )
 
 

@@ -82,12 +82,24 @@ def node_betweenness(
     return finalize_betweenness(sweep.centrality, n, sweep.scale, normalized=normalized)
 
 
-def brandes_source(graph: SimpleGraph, s: int, centrality: list[float]) -> list[int]:
+def brandes_source(
+    graph: SimpleGraph,
+    s: int,
+    centrality: list[float],
+    *,
+    edge_load: list[float] | None = None,
+    edge_index: dict[tuple[int, int], int] | None = None,
+) -> list[int]:
     """One Brandes source: accumulate into ``centrality``, return distances.
 
     The reference (pure-Python) single-source pass.  The returned hop
     distances (-1 when unreachable) are the byproduct the unified
     ``bfs_sweep`` kernel turns into the distance histogram.
+
+    When ``edge_load`` is given, the per-edge dependency contribution
+    ``(σ_v/σ_w)·(1+δ_w)`` — which the accumulation computes anyway — is also
+    added at ``edge_load[edge_index[(v, w)]]`` (canonical ``v <= w`` key), so
+    edge bottleneck load rides on the same traversal at no extra BFS cost.
     """
     n = graph.number_of_nodes
     # single-source shortest-path counting (unweighted BFS variant)
@@ -110,10 +122,21 @@ def brandes_source(graph: SimpleGraph, s: int, centrality: list[float]) -> list[
                 predecessors[w].append(v)
     # accumulation
     delta = [0.0] * n
+    if edge_load is None:
+        while stack:
+            w = stack.pop()
+            for v in predecessors[w]:
+                delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
+            if w != s:
+                centrality[w] += delta[w]
+        return distance
+    assert edge_index is not None
     while stack:
         w = stack.pop()
         for v in predecessors[w]:
-            delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
+            contribution = (sigma[v] / sigma[w]) * (1.0 + delta[w])
+            delta[v] += contribution
+            edge_load[edge_index[(v, w) if v <= w else (w, v)]] += contribution
         if w != s:
             centrality[w] += delta[w]
     return distance

@@ -12,6 +12,12 @@ Endpoints (all JSON):
 * ``POST /v1/graphs`` — generate a dK-graph via the generator registry.
 * ``POST /v1/measure`` — measure a metric subset via the measurement
   planner.
+* ``POST /v1/workload`` — the traffic-workload engine: optionally degrade
+  the graph with a failure/attack scenario (``"scenario":
+  "hub_degree:0.05"``), then measure routing-load/congestion metrics.
+  Coalesced and store-cached like ``/v1/measure``; degraded graphs are kept
+  in a small in-process cache so repeated scenario requests skip the
+  transform.
 * ``POST /v1/experiments`` / ``GET /v1/experiments[/{id}]`` /
   ``POST /v1/experiments/{id}/cancel`` — background experiment-grid jobs
   with progress and cooperative cancellation (see
@@ -133,6 +139,9 @@ class TopologyService:
         self.port: int | None = None
         self._topologies: dict[str, SimpleGraph] = {}
         self._topology_hashes: dict[str, str] = {}
+        # degraded-graph cache of /v1/workload: (source, scenario, seed) ->
+        # (graph, stats, content_hash | None); bounded FIFO
+        self._degraded: dict[tuple, tuple[SimpleGraph, dict, str | None]] = {}
         self._routes = self._build_routes()
 
     @staticmethod
@@ -514,6 +523,147 @@ class TopologyService:
             "wall_time": float(wall),
         }
 
+    async def _handle_workload(self, request: Request) -> tuple[int, Any]:
+        """``POST /v1/workload``: scenario transform + workload measurement."""
+        body = request.json()
+        from repro.workloads import WORKLOAD_METRICS
+        from repro.workloads.scenarios import Scenario, apply_scenario, scenario_label
+
+        metrics = body.get("metrics")
+        if metrics is None:
+            metrics = list(WORKLOAD_METRICS)
+        if not isinstance(metrics, list) or not metrics:
+            raise HTTPError(400, "'metrics' must be a non-empty list of names")
+        known = available_metrics()
+        unknown = [name for name in metrics if name not in known]
+        if unknown:
+            raise HTTPError(
+                400,
+                f"unknown metric(s) {', '.join(map(repr, unknown))}; "
+                f"available: {', '.join(known)}",
+            )
+        metrics = tuple(dict.fromkeys(metrics))
+        try:
+            scenario = Scenario.parse(body.get("scenario"))
+        except (ValueError, TypeError, KeyError) as error:
+            raise HTTPError(400, f"invalid 'scenario': {error}") from None
+        scenario_seed = int(body.get("scenario_seed", 0))
+        use_giant_component = bool(body.get("use_giant_component", True))
+        distance_sources = body.get("distance_sources")
+        if distance_sources is not None:
+            distance_sources = int(distance_sources)
+        seed = int(body.get("seed", 0))
+        backend = self._backend(body)
+
+        graph, label = self._resolve_source(body)
+        store = self.store
+        if store is not None:
+            source_id = self._content_hash(graph, label)
+        else:
+            source_id = label or _edges_digest(graph)
+        degraded_key = (source_id, scenario_label(scenario), scenario_seed)
+
+        def transform() -> tuple[SimpleGraph, dict | None, str | None]:
+            """The graph to measure: ``(graph, scenario_stats, content_hash)``.
+
+            Degraded graphs are cached in-process so repeated scenario
+            requests (polling clients, metric-set widening) skip both the
+            transform and — for ``hub_load`` — its ranking sweep.
+            """
+            if scenario is None:
+                return graph, None, source_id if store is not None else None
+            entry = self._degraded.get(degraded_key)
+            if entry is None:
+                degraded, stats = apply_scenario(graph, scenario, rng=scenario_seed)
+                digest = None
+                if store is not None:
+                    from repro.store.serialize import graph_content_hash
+
+                    digest = graph_content_hash(degraded)
+                if len(self._degraded) >= 32:
+                    self._degraded.pop(next(iter(self._degraded)))
+                entry = (degraded, stats, digest)
+                self._degraded[degraded_key] = entry
+            return entry
+
+        warm = False
+        if store is not None:
+            from repro.store.memo import measure_entry_keys, memoized_measure
+
+            cached_entry = (
+                (graph, None, source_id)
+                if scenario is None
+                else self._degraded.get(degraded_key)
+            )
+            if cached_entry is not None and cached_entry[2] is not None:
+                entry_keys = measure_entry_keys(
+                    cached_entry[2],
+                    metrics,
+                    use_giant_component=use_giant_component,
+                    distance_sources=distance_sources,
+                )
+                warm = all(
+                    store.get_metric(k) is not None for k in entry_keys.values()
+                )
+
+            def compute():
+                start = time.perf_counter()
+                work, stats, work_hash = transform()
+                measurement = memoized_measure(
+                    work,
+                    store,
+                    metrics=metrics,
+                    graph_hash=work_hash,
+                    use_giant_component=use_giant_component,
+                    distance_sources=distance_sources,
+                    rng=seed,
+                    backend=backend,
+                )
+                return work, stats, measurement, time.perf_counter() - start
+
+        else:
+            plan = MeasurementPlan(
+                metrics,
+                use_giant_component=use_giant_component,
+                distance_sources=distance_sources,
+            )
+
+            def compute():
+                start = time.perf_counter()
+                work, stats, _ = transform()
+                measurement = plan.run(work, rng=seed, backend=backend)
+                return work, stats, measurement, time.perf_counter() - start
+
+        key = _local_key(
+            {
+                "kind": "service-workload",
+                "source": source_id,
+                "scenario": scenario_label(scenario),
+                "scenario_seed": scenario_seed,
+                "metrics": sorted(metrics),
+                "use_giant_component": use_giant_component,
+                "distance_sources": distance_sources,
+                "seed": seed,
+            }
+        )
+        (work, stats, measurement, wall), cache = await self._keyed_compute(
+            key, warm, compute, self._timeout(body)
+        )
+        values = {
+            name: _json_safe(encode_metric_value(name, measurement[name]))
+            for name in metrics
+        }
+        return 200, {
+            "key": key,
+            "cache": cache,
+            "scenario": scenario_label(scenario),
+            "scenario_stats": _json_safe(stats),
+            "nodes": work.number_of_nodes,
+            "edges_count": work.number_of_edges,
+            "metrics": values,
+            "wall_time": float(wall),
+        }
+
     #: ExperimentSpec fields a service client may set.
     _SPEC_FIELDS = frozenset(
         {
@@ -530,6 +680,7 @@ class TopologyService:
             "distance_sources",
             "dk_distances",
             "generator_options",
+            "scenarios",
             "backend",
         }
     )
@@ -580,8 +731,24 @@ class TopologyService:
             raise HTTPError(404, f"no experiment job {request.params['id']!r}")
         return job
 
+    @staticmethod
+    def _query_int(request: Request, name: str, *, minimum: int) -> int | None:
+        """An optional non-negative integer query parameter (400 on junk)."""
+        raw = request.query.get(name)
+        if raw is None:
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            raise HTTPError(400, f"query parameter {name!r} must be an integer, got {raw!r}") from None
+        if value < minimum:
+            raise HTTPError(400, f"query parameter {name!r} must be >= {minimum}, got {value}")
+        return value
+
     async def _handle_experiment_status(self, request: Request) -> tuple[int, Any]:
-        return 200, self._job_or_404(request).detail()
+        offset = self._query_int(request, "offset", minimum=0)
+        limit = self._query_int(request, "limit", minimum=1)
+        return 200, self._job_or_404(request).detail(offset=offset, limit=limit)
 
     async def _handle_cancel_experiment(self, request: Request) -> tuple[int, Any]:
         job = self._job_or_404(request)
@@ -616,6 +783,7 @@ class TopologyService:
             ),
             ("POST", re.compile(r"^/v1/graphs$"), self._handle_generate, "POST /v1/graphs"),
             ("POST", re.compile(r"^/v1/measure$"), self._handle_measure, "POST /v1/measure"),
+            ("POST", re.compile(r"^/v1/workload$"), self._handle_workload, "POST /v1/workload"),
             (
                 "POST",
                 re.compile(r"^/v1/experiments$"),

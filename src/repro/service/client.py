@@ -185,6 +185,46 @@ class ServiceClient:
             body["timeout"] = timeout
         return await self._call("POST", "/v1/measure", body)
 
+    async def workload(
+        self,
+        *,
+        metrics: Any | None = None,
+        topology: str | None = None,
+        edges: Any | None = None,
+        scenario: Any | None = None,
+        scenario_seed: int = 0,
+        use_giant_component: bool = True,
+        distance_sources: int | None = None,
+        seed: int = 0,
+        backend: str | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """``POST /v1/workload``: routing load under an optional scenario.
+
+        ``scenario`` is a ``"kind:fraction"`` label (e.g. ``"hub_degree:0.05"``),
+        a ``{"kind": ..., "fraction": ...}`` dict, or ``None`` for the intact
+        graph; ``metrics`` defaults to the server's workload battery.
+        """
+        body: dict[str, Any] = {"seed": seed}
+        self._source(body, topology, edges)
+        if metrics is not None:
+            body["metrics"] = list(metrics)
+        if scenario is not None:
+            body["scenario"] = (
+                scenario.label if hasattr(scenario, "label") else scenario
+            )
+        if scenario_seed:
+            body["scenario_seed"] = scenario_seed
+        if not use_giant_component:
+            body["use_giant_component"] = False
+        if distance_sources is not None:
+            body["distance_sources"] = distance_sources
+        if backend is not None:
+            body["backend"] = backend
+        if timeout is not None:
+            body["timeout"] = timeout
+        return await self._call("POST", "/v1/workload", body)
+
     #: ExperimentSpec.to_dict() keys the submit endpoint does not accept.
     _SPEC_DROP = ("collect_metrics",)
 
@@ -208,8 +248,17 @@ class ServiceClient:
     async def list_experiments(self) -> list[dict[str, Any]]:
         return (await self._call("GET", "/v1/experiments"))["jobs"]
 
-    async def experiment(self, job_id: str) -> dict[str, Any]:
-        return await self._call("GET", f"/v1/experiments/{job_id}")
+    async def experiment(
+        self, job_id: str, *, offset: int | None = None, limit: int | None = None
+    ) -> dict[str, Any]:
+        """``GET /v1/experiments/{id}``; ``offset``/``limit`` page the records."""
+        query = "&".join(
+            f"{name}={value}"
+            for name, value in (("offset", offset), ("limit", limit))
+            if value is not None
+        )
+        path = f"/v1/experiments/{job_id}"
+        return await self._call("GET", f"{path}?{query}" if query else path)
 
     async def cancel_experiment(self, job_id: str) -> dict[str, Any]:
         return await self._call("POST", f"/v1/experiments/{job_id}/cancel")

@@ -64,8 +64,17 @@ class Job:
             "error": self.error,
         }
 
-    def detail(self) -> dict[str, Any]:
-        """Full JSON view, including result rows once the job is final."""
+    def detail(
+        self, *, offset: int | None = None, limit: int | None = None
+    ) -> dict[str, Any]:
+        """Full JSON view, including result rows once the job is final.
+
+        ``offset``/``limit`` paginate the ``records`` list server-side (large
+        grids produce thousands of rows; clients page instead of re-downloading
+        the full document on every poll).  ``records_total`` always reports the
+        unpaginated count and ``records_offset`` the window start, so a client
+        can iterate ``offset += limit`` until the window comes back short.
+        """
         payload = self.summary()
         payload["spec"] = self.spec.to_dict()
         payload["workers"] = self.workers
@@ -74,7 +83,12 @@ class Job:
             payload["cached_cells"] = self.result.cached_cells
             payload["wall_time"] = float(self.result.wall_time)
             if self.status in ("done", "cancelled"):
-                payload["records"] = self.result.to_rows()
+                rows = self.result.to_rows()
+                start = offset or 0
+                window = rows[start:] if limit is None else rows[start : start + limit]
+                payload["records"] = window
+                payload["records_total"] = len(rows)
+                payload["records_offset"] = start
         return payload
 
 

@@ -1,0 +1,55 @@
+"""Traffic workloads over dK-topologies: routing load, congestion, failures.
+
+The paper's claim is that dK-series graphs reproduce the *behaviorally
+relevant* structure of real topologies; this package exercises that claim
+under load.  Three layers:
+
+* :mod:`repro.workloads.routing` — shortest-path routing load per edge and
+  per node, riding on the planner's single Brandes sweep;
+* :mod:`repro.workloads.congestion` — bottleneck/percentile load and
+  effective throughput formulas over a load vector;
+* :mod:`repro.workloads.scenarios` — fault/attack transforms (targeted hub
+  removal, random failure) that degrade a topology before measurement and
+  thread through the experiment grid.
+
+The congestion metrics are registered in :mod:`repro.measure.registry`
+(``max_edge_load``, ``edge_load_p99``, ``effective_throughput``, ...), so
+they get ``--metrics`` selection and per-metric store caching for free.
+"""
+
+from repro.workloads.congestion import effective_throughput, load_percentile, max_load
+from repro.workloads.routing import (
+    canonical_edge_order,
+    edge_load_by_degree,
+    finalize_edge_load,
+    routing_load,
+)
+from repro.workloads.scenarios import (
+    SCENARIO_KINDS,
+    Scenario,
+    apply_scenario,
+    scenario_label,
+)
+
+#: The default metric battery of the ``repro workload`` CLI / service route.
+WORKLOAD_METRICS = (
+    "max_edge_load",
+    "edge_load_p99",
+    "effective_throughput",
+    "max_node_load",
+)
+
+__all__ = [
+    "WORKLOAD_METRICS",
+    "canonical_edge_order",
+    "finalize_edge_load",
+    "routing_load",
+    "edge_load_by_degree",
+    "max_load",
+    "load_percentile",
+    "effective_throughput",
+    "SCENARIO_KINDS",
+    "Scenario",
+    "scenario_label",
+    "apply_scenario",
+]

@@ -1,0 +1,43 @@
+"""Congestion analysis over a routing-load vector.
+
+Thin, dependency-free formulas: the planner's congestion metrics apply these
+to the per-edge load the shared Brandes sweep produced, so requesting
+``max_edge_load``, ``edge_load_p99`` and ``effective_throughput`` together
+with betweenness still performs a single traversal.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def max_load(values: list[float]) -> float:
+    """The bottleneck: largest load in the vector (0.0 when empty)."""
+    return max(values, default=0.0)
+
+
+def load_percentile(values: list[float], q: float) -> float:
+    """Nearest-rank ``q``-th percentile of the load vector (0.0 when empty)."""
+    if not values:
+        return 0.0
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {q!r}")
+    ordered = sorted(values)
+    rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+    return ordered[rank]
+
+
+def effective_throughput(normalized_load: list[float]) -> float:
+    """Sustainable uniform-demand rate before the bottleneck edge saturates.
+
+    With unit edge capacity and every demand pair injecting at rate ``ρ``
+    (split across its equal-cost shortest paths), the busiest edge carries
+    ``ρ · n(n-1)/2 · max_load`` — so the network saturates at
+    ``ρ* = 1 / max normalized load`` pair-rate units.  0.0 for an edgeless
+    (or load-free) graph, where no demand can be carried at all.
+    """
+    peak = max_load(normalized_load)
+    return 1.0 / peak if peak > 0.0 else 0.0
+
+
+__all__ = ["max_load", "load_percentile", "effective_throughput"]

@@ -26,9 +26,9 @@ def counting_sweep(monkeypatch):
     calls: list[bool] = []
     real = kernel_backend.get_kernel("bfs_sweep", "python")
 
-    def counting(graph, sources, want_betweenness):
+    def counting(graph, sources, want_betweenness, want_edge_load=False):
         calls.append(want_betweenness)
-        return real(graph, sources, want_betweenness)
+        return real(graph, sources, want_betweenness, want_edge_load)
 
     monkeypatch.setitem(kernel_backend._KERNELS, ("bfs_sweep", "python"), counting)
     return calls

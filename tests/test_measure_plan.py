@@ -72,9 +72,12 @@ def counting_sweep(monkeypatch):
     for backend in ("python", "csr"):
         real = kernel_backend.get_kernel("bfs_sweep", backend)
 
-        def counting(graph, sources, want_betweenness, _real=real, _name=backend):
+        def counting(
+            graph, sources, want_betweenness, want_edge_load=False,
+            _real=real, _name=backend,
+        ):
             calls.append((_name, want_betweenness))
-            return _real(graph, sources, want_betweenness)
+            return _real(graph, sources, want_betweenness, want_edge_load)
 
         monkeypatch.setitem(
             kernel_backend._KERNELS, ("bfs_sweep", backend), counting

@@ -293,6 +293,139 @@ def test_unknown_job_is_404(service):
     assert drive(service, scenario).status == 404
 
 
+def test_experiment_records_paginate_server_side(service, counting_generator):
+    async def scenario(client):
+        job = await client.submit_experiment(JOB_SPEC, workers=1)
+        full = await client.wait_for_experiment(job["id"], poll=0.05, timeout=60)
+        first = await client.experiment(job["id"], limit=3)
+        rest = await client.experiment(job["id"], offset=3, limit=3)
+        beyond = await client.experiment(job["id"], offset=100)
+        return full, first, rest, beyond
+
+    full, first, rest, beyond = drive(service, scenario)
+    assert full["records_total"] == len(full["records"]) == 4
+    assert full["records_offset"] == 0
+    assert [len(p["records"]) for p in (first, rest, beyond)] == [3, 1, 0]
+    assert first["records"] + rest["records"] == full["records"]
+    assert rest["records_offset"] == 3
+    assert beyond["records_total"] == 4  # total is always the unpaginated count
+
+
+def test_experiment_pagination_rejects_junk(service):
+    async def scenario(client):
+        statuses = []
+        for query in ("offset=-1", "limit=0", "offset=abc"):
+            status, _ = await client.request("GET", f"/v1/experiments/feedf00d?{query}")
+            statuses.append(status)
+        return statuses
+
+    # validated before the job lookup: junk is 400 even for unknown ids
+    assert drive(service, scenario) == [400, 400, 400]
+
+
+# --------------------------------------------------------------------------- #
+# the workload endpoint
+# --------------------------------------------------------------------------- #
+def test_workload_endpoint_applies_scenario_and_serves_warm(service):
+    async def scenario(client):
+        baseline = await client.workload(edges=EDGES, backend="python")
+        attacked = await client.workload(
+            edges=EDGES, scenario="hub_degree:0.1", backend="python"
+        )
+        again = await client.workload(
+            edges=EDGES, scenario="hub_degree:0.1", backend="python"
+        )
+        return baseline, attacked, again
+
+    baseline, attacked, again = drive(service, scenario)
+    assert baseline["scenario"] == "none"
+    assert baseline["scenario_stats"] is None
+    assert set(baseline["metrics"]) == {
+        "max_edge_load",
+        "edge_load_p99",
+        "effective_throughput",
+        "max_node_load",
+    }
+    assert attacked["scenario"] == "hub_degree:0.1"
+    assert attacked["scenario_stats"]["removed_nodes"] >= 1
+    assert attacked["edges_count"] < baseline["edges_count"]
+    assert (
+        attacked["metrics"]["effective_throughput"]
+        < baseline["metrics"]["effective_throughput"]
+    )
+    # the repeated request is a store hit (degraded graph from the cache)
+    assert again["cache"] == "hit"
+    assert again["metrics"] == attacked["metrics"]
+
+
+def test_workload_endpoint_custom_metrics_and_random_scenario_seed(service):
+    async def scenario(client):
+        a = await client.workload(
+            edges=EDGES,
+            metrics=["max_edge_load", "mean_distance"],
+            scenario={"kind": "random_edge", "fraction": 0.2},
+            scenario_seed=7,
+        )
+        b = await client.workload(
+            edges=EDGES,
+            metrics=["max_edge_load", "mean_distance"],
+            scenario="random_edge:0.2",
+            scenario_seed=8,
+        )
+        return a, b
+
+    a, b = drive(service, scenario)
+    assert set(a["metrics"]) == {"max_edge_load", "mean_distance"}
+    assert a["scenario"] == b["scenario"] == "random_edge:0.2"
+    # different scenario seeds degrade different edges -> different keys
+    assert a["key"] != b["key"]
+
+
+def test_workload_endpoint_rejects_bad_input(service):
+    async def scenario(client):
+        statuses = {}
+        status, body = await client.request(
+            "POST", "/v1/workload", {"edges": EDGES, "scenario": "bogus:0.5"}
+        )
+        statuses["bad_kind"] = (status, body["error"])
+        status, _ = await client.request(
+            "POST", "/v1/workload", {"edges": EDGES, "scenario": "hub_degree:2.0"}
+        )
+        statuses["bad_fraction"] = (status, None)
+        status, _ = await client.request(
+            "POST", "/v1/workload", {"edges": EDGES, "metrics": []}
+        )
+        statuses["empty_metrics"] = (status, None)
+        status, _ = await client.request(
+            "POST", "/v1/workload", {"edges": EDGES, "metrics": ["no_such"]}
+        )
+        statuses["unknown_metric"] = (status, None)
+        return statuses
+
+    statuses = drive(service, scenario)
+    assert statuses["bad_kind"][0] == 400
+    assert "scenario" in statuses["bad_kind"][1]
+    assert statuses["bad_fraction"][0] == 400
+    assert statuses["empty_metrics"][0] == 400
+    assert statuses["unknown_metric"][0] == 400
+
+
+def test_experiment_job_accepts_scenarios_dimension(service, counting_generator):
+    spec = {**JOB_SPEC, "d_levels": [1], "scenarios": ["none", "hub_degree:0.1"]}
+
+    async def scenario(client):
+        job = await client.submit_experiment(spec, workers=1)
+        return await client.wait_for_experiment(job["id"], poll=0.05, timeout=60)
+
+    detail = drive(service, scenario)
+    assert detail["status"] == "done"
+    assert detail["spec"]["scenarios"] == ["none", "hub_degree:0.1"]
+    scenarios = [record.get("scenario") for record in detail["records"]]
+    assert scenarios.count("hub_degree:0.1") == 2  # one per replicate
+    # scenario cells degrade the same generated graph: 2 builds, not 4
+    assert counting_generator["count"] == 2
+
+
 # --------------------------------------------------------------------------- #
 # introspection endpoints
 # --------------------------------------------------------------------------- #

@@ -290,6 +290,26 @@ def test_measure_inline_edges_without_store(bare_service):
     assert sum(distribution.values()) == pytest.approx(1.0)
 
 
+def test_workload_inline_edges_without_store(bare_service):
+    # the workload route (scenario transform + congestion metrics) runs
+    # end-to-end on the pure-Python planner path, store-less and numpy-free
+    async def run_workload(client):
+        baseline = await client.workload(edges=EDGES, backend="python")
+        attacked = await client.workload(
+            edges=EDGES, scenario="hub_degree:0.1", backend="python"
+        )
+        return baseline, attacked
+
+    baseline, attacked = scenario(bare_service, run_workload)
+    assert baseline["scenario"] == "none"
+    assert baseline["metrics"]["max_edge_load"] > 0
+    assert attacked["scenario_stats"]["removed_edges"] > 0
+    assert (
+        attacked["metrics"]["effective_throughput"]
+        <= baseline["metrics"]["effective_throughput"]
+    )
+
+
 def test_store_less_identical_requests_coalesce(bare_service):
     # large enough that the BFS sweep is still running when the last of the
     # burst arrives — otherwise the key leaves the table and nothing coalesces
