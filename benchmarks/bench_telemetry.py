@@ -1,0 +1,94 @@
+"""Telemetry overhead benchmark: instrumented vs disabled.
+
+Runs one representative workload — a full scalar summary plus a d=2
+rewiring generation on a skitter-like AS topology — twice: with tracing
+disabled (the production default; metric counters are always on) and with
+tracing enabled.  Each configuration takes the best of three runs so CI
+noise doesn't masquerade as overhead.
+
+Two acceptance bars are asserted and recorded into BENCH_results.json:
+
+* disabled-mode span overhead ≤ 5% — estimated as (spans the traced run
+  recorded) × (micro-benchmarked cost of one disabled ``span()`` call)
+  over the disabled wall time, i.e. the *whole* cost tracing's
+  one-truthiness-check design leaves in the hot path;
+* tracing overhead ≤ 15% — traced wall time over disabled wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks._common import AS_SEED, GENERATION_SEED, record_result
+from repro import telemetry
+from repro.core.randomness import dk_random_graph
+from repro.measure import clear_measure_cache
+from repro.metrics.summary import summarize
+from repro.topologies.as_level import synthetic_as_topology
+
+ROUNDS = 3
+DISABLED_BUDGET = 0.05
+TRACED_BUDGET = 0.15
+
+
+def _workload(graph):
+    clear_measure_cache(graph)  # same cold intermediates for every run
+    summarize(graph, compute_spectrum=False)
+    dk_random_graph(graph, 2, rng=GENERATION_SEED)
+
+
+def _best_of(rounds, func, *args):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _disabled_span_cost(calls=50_000):
+    """Micro-benchmark: seconds per ``span()`` call while tracing is off."""
+    assert not telemetry.tracing_enabled()
+    start = time.perf_counter()
+    for _ in range(calls):
+        with telemetry.span("bench.noop", n=1, m=2):
+            pass
+    return (time.perf_counter() - start) / calls
+
+
+def test_telemetry_overhead():
+    graph = synthetic_as_topology(1000, rng=AS_SEED)
+
+    telemetry.disable_tracing()
+    disabled_wall = _best_of(ROUNDS, _workload, graph)
+    per_disabled_call = _disabled_span_cost()
+
+    telemetry.enable_tracing()
+    try:
+        traced_wall = _best_of(ROUNDS, _workload, graph)
+        span_count = len(telemetry.take_events()) // ROUNDS
+    finally:
+        telemetry.disable_tracing()
+
+    disabled_overhead = span_count * per_disabled_call / disabled_wall
+    traced_overhead = traced_wall / disabled_wall - 1.0
+
+    record_result(
+        "telemetry_overhead",
+        disabled_wall,
+        graph,
+        spans_per_run=span_count,
+        disabled_wall=round(disabled_wall, 4),
+        traced_wall=round(traced_wall, 4),
+        disabled_span_call_us=round(per_disabled_call * 1e6, 3),
+        disabled_overhead=round(disabled_overhead, 5),
+        traced_overhead=round(traced_overhead, 5),
+    )
+    print(
+        f"\ntelemetry overhead: {span_count} spans/run, "
+        f"disabled {disabled_wall:.3f}s (+{disabled_overhead:.2%} span cost), "
+        f"traced {traced_wall:.3f}s (+{traced_overhead:.2%})"
+    )
+
+    assert disabled_overhead <= DISABLED_BUDGET
+    assert traced_overhead <= TRACED_BUDGET

@@ -43,7 +43,7 @@ Batch pipeline::
 
 from repro._lazy import lazy_exports
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 # Lazy re-exports (PEP 562): nothing heavy is imported until first attribute
 # access, so `import repro` (and the pure-Python analysis path under it)
@@ -87,6 +87,15 @@ _EXPORTS = {
     "available_backends": "repro.kernels.backend",
     "use_backend": "repro.kernels.backend",
     "current_backend": "repro.kernels.backend",
+    "span": "repro.telemetry",
+    "enable_tracing": "repro.telemetry",
+    "disable_tracing": "repro.telemetry",
+    "tracing_enabled": "repro.telemetry",
+    "write_chrome_trace": "repro.telemetry",
+    "counter_inc": "repro.telemetry",
+    "counter_value": "repro.telemetry",
+    "metrics_snapshot": "repro.telemetry",
+    "render_prometheus": "repro.telemetry",
 }
 
 __all__ = ["__version__", *_EXPORTS]

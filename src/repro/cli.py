@@ -32,11 +32,16 @@ Experiment pipeline:
   the experiment grid machinery, so ``--store``/``--resume`` give warm
   restarts for free.
 * ``cache`` -- inspect (``info``, with ``--json`` for the machine-readable
-  document ``GET /v1/store/info`` also serves), prune (``gc``) or empty
-  (``clear``) an artifact store directory.
+  document ``GET /v1/store/info`` also serves, plus this process's store
+  hit/miss/write counters), prune (``gc``) or empty (``clear``) an artifact
+  store directory.
 * ``serve`` -- run the topology-as-a-service HTTP/JSON daemon over an
   artifact store: request coalescing, admission control, background
   experiment jobs (see :mod:`repro.service`).
+* ``trace`` -- run any other subcommand with tracing spans enabled and
+  write a Chrome trace-event JSON file on exit (load it in
+  ``chrome://tracing`` or https://ui.perfetto.dev).  Equivalent to setting
+  ``REPRO_TRACE=<path>`` in the environment.
 
 The generation method choices everywhere are derived from
 :mod:`repro.generators.registry`, so algorithms added with
@@ -71,7 +76,13 @@ from repro.measure.plan import MeasurementPlan
 from repro.measure.registry import available_metrics, get_metric_def
 from repro.metrics.summary import summarize
 from repro.rescaling.rescale import rescale_jdd
-from repro.store.artifact_store import ArtifactStore
+from repro.store.artifact_store import ArtifactStore, store_process_counters
+from repro.telemetry import (
+    enable_tracing,
+    event_count,
+    maybe_enable_from_env,
+    write_chrome_trace,
+)
 from repro.topologies.registry import available_topologies, build_topology
 
 
@@ -660,9 +671,14 @@ def cache_main(argv: list[str] | None = None) -> int:
         store = ArtifactStore(args.store)
         if args.action == "info":
             info = store.info_dict()
+            # store traffic of THIS process (hits/misses/writes since import) —
+            # layered on top here so info_dict() stays byte-identical with the
+            # /v1/store/info endpoint
+            info["process_counters"] = store_process_counters()
             if args.json:
                 print(json.dumps(info, indent=2, sort_keys=True))
                 return 0
+            info.pop("process_counters")
             rows = [[key, value] for key, value in info.items()]
             print(render_table(["property", "value"], rows, title=f"Artifact store at {args.store}"))
         else:
@@ -684,6 +700,49 @@ def serve_main(argv: list[str] | None = None) -> int:
     return _serve_main(argv)
 
 
+# --------------------------------------------------------------------------- #
+# trace
+# --------------------------------------------------------------------------- #
+def trace_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro trace``: run a subcommand with tracing on."""
+    import os
+
+    from repro.telemetry.core import TRACE_ENV_VAR
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run any repro subcommand with tracing spans enabled and "
+        "write a Chrome trace-event JSON file on exit.",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="trace.json",
+        help="trace-file destination (default: trace.json)",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(name for name in _COMMANDS if name != "trace"),
+        help="the subcommand to run under tracing",
+    )
+    parser.add_argument(
+        "args",
+        nargs=argparse.REMAINDER,
+        help="arguments passed through to the subcommand",
+    )
+    args = parser.parse_args(argv)
+
+    enable_tracing()
+    # spawned worker processes see the environment, not our module globals
+    os.environ.setdefault(TRACE_ENV_VAR, "1")
+    try:
+        status = _COMMANDS[args.command](args.args)
+    finally:
+        count = write_chrome_trace(args.output)
+        print(f"trace: {count} span(s) written to {args.output}", file=sys.stderr)
+    return status
+
+
 _COMMANDS = {
     "dist": dkdist_main,
     "dkdist": dkdist_main,
@@ -696,6 +755,7 @@ _COMMANDS = {
     "workload": workload_main,
     "cache": cache_main,
     "serve": serve_main,
+    "trace": trace_main,
 }
 
 
@@ -704,7 +764,7 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     usage = (
         "usage: python -m repro.cli "
-        "{dist,gen,compare,methods,run-experiment,workload,cache,serve} ..."
+        "{dist,gen,compare,methods,run-experiment,workload,cache,serve,trace} ..."
     )
     if not argv:
         print(usage, file=sys.stderr)
@@ -714,7 +774,12 @@ def main(argv: list[str] | None = None) -> int:
     if handler is None:
         print(f"unknown command {command!r}\n{usage}", file=sys.stderr)
         return 2
-    return handler(rest)
+    trace_path = maybe_enable_from_env()
+    status = handler(rest)
+    if trace_path and command != "trace" and event_count():
+        count = write_chrome_trace(trace_path)
+        print(f"trace: {count} span(s) written to {trace_path}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover
@@ -729,5 +794,6 @@ __all__ = [
     "run_experiment_main",
     "workload_main",
     "cache_main",
+    "trace_main",
     "main",
 ]

@@ -54,6 +54,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.distance import graph_dk_distance
 from repro.exceptions import ExperimentError, ExperimentInterrupted
 from repro.generators.registry import get_generator, json_safe
@@ -370,6 +371,10 @@ class RunRecord:
     dk_distance: float | None = None
     scenario: str | None = None
     graph: SimpleGraph | None = None
+    #: Worker-side telemetry shipped back with the record (span events +
+    #: metric snapshot); absorbed into the parent process by
+    #: :func:`run_experiment` and nulled out.  Never serialized to rows.
+    telemetry: dict[str, Any] | None = None
 
     def metric_value(self, name: str, default: Any = None) -> Any:
         """The measured value of one metric, whichever block holds it."""
@@ -514,18 +519,30 @@ _WORKER_STORE: ArtifactStore | None = None
 _WORKER_READ_CACHE: bool = True
 
 
-def _init_worker(spec: ExperimentSpec, store: ArtifactStore | None, read_cache: bool) -> None:
+def _init_worker(
+    spec: ExperimentSpec,
+    store: ArtifactStore | None,
+    read_cache: bool,
+    trace: bool = False,
+) -> None:
     global _WORKER_SPEC, _WORKER_STORE, _WORKER_READ_CACHE
     _WORKER_SPEC = spec
     _WORKER_STORE = store
     _WORKER_READ_CACHE = read_cache
+    if trace:
+        telemetry.enable_tracing()
+    # On fork start methods the worker inherits the parent's span buffer and
+    # metric counts; both must be dropped or they would be shipped back and
+    # double-counted when the parent absorbs this worker's telemetry.
+    telemetry.take_events()
+    telemetry.reset_metrics()
 
 
 def _execute_cell_in_worker(
     task: tuple[ExperimentCell, str | None, str | None],
 ) -> RunRecord:
     cell, cell_key, topology_hash = task
-    return _execute_cell(
+    record = _execute_cell(
         _WORKER_SPEC,
         cell,
         store=_WORKER_STORE,
@@ -533,6 +550,24 @@ def _execute_cell_in_worker(
         topology_hash=topology_hash,
         read_cache=_WORKER_READ_CACHE,
     )
+    # ship this cell's telemetry to the parent and reset, so the next cell
+    # on this worker starts from zero (each record carries only its own)
+    record.telemetry = {
+        "events": telemetry.take_events() if telemetry.tracing_enabled() else [],
+        "metrics": telemetry.metrics_snapshot(reset=True),
+    }
+    return record
+
+
+def _absorb_worker_telemetry(record: RunRecord) -> None:
+    """Fold a worker record's shipped telemetry into this process's buffers."""
+    payload = record.telemetry
+    if payload:
+        telemetry.add_events(payload.get("events") or [])
+        metrics = payload.get("metrics")
+        if metrics:
+            telemetry.merge_metrics(metrics)
+    record.telemetry = None
 
 
 def _cell_cache_key(spec: ExperimentSpec, cell: ExperimentCell, topology_hash: str) -> str:
@@ -648,6 +683,36 @@ def _execute_cell(
     content keys and the finished record is written as a cell manifest, so
     another process (or a later run) can skip this cell entirely.
     """
+    with telemetry.span(
+        "experiment.cell",
+        topology=cell.topology,
+        method=cell.method,
+        d=cell.d,
+        replicate=cell.replicate,
+        cache="miss",
+    ) as sp:
+        telemetry.counter_inc("repro_experiment_cells_total", outcome="computed")
+        record = _execute_cell_impl(
+            spec,
+            cell,
+            store=store,
+            cell_key=cell_key,
+            topology_hash=topology_hash,
+            read_cache=read_cache,
+        )
+        sp.set(n=record.nodes, m=record.edges)
+        return record
+
+
+def _execute_cell_impl(
+    spec: ExperimentSpec,
+    cell: ExperimentCell,
+    *,
+    store: ArtifactStore | None = None,
+    cell_key: str | None = None,
+    topology_hash: str | None = None,
+    read_cache: bool = True,
+) -> RunRecord:
     original = _resolve_topology(spec.topologies[cell.topology_index])
     if store is not None and topology_hash is None:
         topology_hash = graph_content_hash(original)
@@ -675,13 +740,16 @@ def _execute_cell(
             )
             graph_key = generation_key(cell.method, options, cell.seed, topology_hash, d=cell.d)
         else:
-            generated = generator.build(
-                original,
-                cell.d,
-                rng=np.random.default_rng(cell.seed),
-                backend=spec.backend,
-                **options,
-            )
+            with telemetry.span(
+                "generate", method=cell.method, d=cell.d, seed=cell.seed
+            ):
+                generated = generator.build(
+                    original,
+                    cell.d,
+                    rng=np.random.default_rng(cell.seed),
+                    backend=spec.backend,
+                    **options,
+                )
         graph = generated.graph
         graph_hash = generated.content_hash  # set iff a store was involved
         stats = generated.stats
@@ -791,6 +859,30 @@ def run_experiment(
        ``register_generator`` call in an imported module, or run with
        ``workers=1``.
     """
+    with telemetry.span(
+        "experiment.run", name=spec.name, workers=max(1, workers)
+    ) as sp:
+        result = _run_experiment(
+            spec,
+            workers=workers,
+            store=store,
+            resume=resume,
+            cancel=cancel,
+            on_cell=on_cell,
+        )
+        sp.set(cells=len(result.records), cached_cells=result.cached_cells)
+        return result
+
+
+def _run_experiment(
+    spec: ExperimentSpec,
+    *,
+    workers: int,
+    store: ArtifactStore | str | Path | None,
+    resume: bool,
+    cancel: Any | None,
+    on_cell: Callable[[int, int], None] | None,
+) -> ExperimentResult:
     for method in spec.methods:
         get_generator(method)  # fail fast on unknown methods
     cells = spec.cells()
@@ -820,12 +912,26 @@ def run_experiment(
             if resume:
                 manifest = store.get_cell(cell_key)
                 if manifest is not None:
-                    record = _record_from_cell_manifest(
-                        spec, cell, manifest, store, originals[cell.topology_index]
-                    )
-                    if record is not None:
-                        records[index] = record
-                        continue
+                    # a cached cell still gets its span (with cache="hit"), so
+                    # a warm rerun's trace shows where every cell came from
+                    with telemetry.span(
+                        "experiment.cell",
+                        topology=cell.topology,
+                        method=cell.method,
+                        d=cell.d,
+                        replicate=cell.replicate,
+                        cache="hit",
+                    ) as cell_span:
+                        record = _record_from_cell_manifest(
+                            spec, cell, manifest, store, originals[cell.topology_index]
+                        )
+                        if record is not None:
+                            records[index] = record
+                            telemetry.counter_inc(
+                                "repro_experiment_cells_total", outcome="cached"
+                            )
+                            continue
+                        cell_span.set(cache="stale")
             pending.append((index, (cell, cell_key, topo_hash)))
 
     cached_cells = len(cells) - len(pending)
@@ -876,7 +982,9 @@ def run_experiment(
                 raise _interrupted("interrupt") from None
         else:
             with ProcessPoolExecutor(
-                max_workers=workers, initializer=_init_worker, initargs=(spec, store, resume)
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(spec, store, resume, telemetry.tracing_enabled()),
             ) as executor:
                 future_map = {
                     executor.submit(_execute_cell_in_worker, task): index
@@ -888,7 +996,9 @@ def run_experiment(
                     while not_done:
                         done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                         for future in done:
-                            records[future_map[future]] = future.result()
+                            record = future.result()
+                            _absorb_worker_telemetry(record)
+                            records[future_map[future]] = record
                             completed += 1
                             if on_cell is not None:
                                 on_cell(completed, len(cells))
@@ -927,6 +1037,7 @@ def _drain_after_interrupt(future_map: Mapping[Any, int], records: list) -> None
             record = future.result()  # blocks until the running cell finishes
         except BaseException:
             continue  # the worker died mid-cell: that cell stays incomplete
+        _absorb_worker_telemetry(record)
         if records[index] is None:
             records[index] = record
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import warnings
 
 from repro.exceptions import RewiringConvergenceWarning
+from repro.telemetry.metrics import counter_inc
 
 #: Proposals drawn per vectorized batch.  A pure performance knob: the
 #: vectorized engine consumes each random stream per-proposal, so the chain's
@@ -40,6 +41,8 @@ def record_chain_stats(
     """
     if converged is None:
         converged = accepted >= target
+    counter_inc("repro_rewiring_accepted_moves_total", accepted, chain=label)
+    counter_inc("repro_rewiring_attempted_moves_total", attempted, chain=label)
     if stats is not None:
         stats["target_moves"] = target
         stats["accepted_moves"] = accepted

@@ -39,6 +39,7 @@ from repro.generators.rewiring.swaps import (
 from repro.generators.threek import ThreeKTracker
 from repro.graph.simple_graph import SimpleGraph
 from repro.kernels.backend import get_kernel, register_kernel, resolve_backend
+from repro.telemetry import span
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -226,16 +227,24 @@ def _run_randomize(
     batch_size: int | None,
 ) -> SimpleGraph:
     """Resolve the engine for ``graph`` and run the d-level chain on it."""
-    kernel = get_kernel("rewire_randomize", resolve_backend(graph, backend))
-    return kernel(
-        graph,
-        d,
-        rng=rng,
-        multiplier=multiplier,
-        max_attempt_factor=max_attempt_factor,
-        stats=stats,
-        batch_size=batch_size,
-    )
+    concrete = resolve_backend(graph, backend)
+    kernel = get_kernel("rewire_randomize", concrete)
+    with span(
+        "kernel.rewire_randomize",
+        backend=concrete,
+        d=d,
+        n=graph.number_of_nodes,
+        m=graph.number_of_edges,
+    ):
+        return kernel(
+            graph,
+            d,
+            rng=rng,
+            multiplier=multiplier,
+            max_attempt_factor=max_attempt_factor,
+            stats=stats,
+            batch_size=batch_size,
+        )
 
 
 def randomize_0k(

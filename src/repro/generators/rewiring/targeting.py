@@ -44,6 +44,7 @@ from repro.generators.rewiring.swaps import (
 from repro.generators.threek import ThreeKTracker
 from repro.graph.simple_graph import SimpleGraph
 from repro.kernels.backend import get_kernel, register_kernel, resolve_backend
+from repro.telemetry import span
 from repro.utils.rng import RngLike, ensure_rng
 
 if TYPE_CHECKING:  # annotation-only; the python engine runs on the rng fallback
@@ -234,16 +235,23 @@ def target_2k_from_1k(
     degree distribution is pushed toward ``target`` by accepting double edge
     swaps that decrease ``D_2``.  ``backend`` selects the rewiring engine.
     """
-    kernel = get_kernel("rewire_target_2k", resolve_backend(graph, backend))
-    return kernel(
-        graph,
-        target,
-        rng=rng,
-        max_attempts=max_attempts,
-        temperature=temperature,
-        trace_every=trace_every,
-        batch_size=batch_size,
-    )
+    concrete = resolve_backend(graph, backend)
+    kernel = get_kernel("rewire_target_2k", concrete)
+    with span(
+        "kernel.rewire_target_2k",
+        backend=concrete,
+        n=graph.number_of_nodes,
+        m=graph.number_of_edges,
+    ):
+        return kernel(
+            graph,
+            target,
+            rng=rng,
+            max_attempts=max_attempts,
+            temperature=temperature,
+            trace_every=trace_every,
+            batch_size=batch_size,
+        )
 
 
 def target_3k_from_2k(
@@ -263,16 +271,23 @@ def target_3k_from_2k(
     wedge and triangle distributions are pushed toward ``target``.
     ``backend`` selects the rewiring engine.
     """
-    kernel = get_kernel("rewire_target_3k", resolve_backend(graph, backend))
-    return kernel(
-        graph,
-        target,
-        rng=rng,
-        max_attempts=max_attempts,
-        temperature=temperature,
-        trace_every=trace_every,
-        batch_size=batch_size,
-    )
+    concrete = resolve_backend(graph, backend)
+    kernel = get_kernel("rewire_target_3k", concrete)
+    with span(
+        "kernel.rewire_target_3k",
+        backend=concrete,
+        n=graph.number_of_nodes,
+        m=graph.number_of_edges,
+    ):
+        return kernel(
+            graph,
+            target,
+            rng=rng,
+            max_attempts=max_attempts,
+            temperature=temperature,
+            trace_every=trace_every,
+            batch_size=batch_size,
+        )
 
 
 def dk_targeting_result(

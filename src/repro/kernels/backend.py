@@ -42,6 +42,8 @@ import os
 import warnings
 from typing import Callable
 
+from repro.telemetry.core import span, tracing_enabled
+
 try:
     import numpy  # noqa: F401  (availability probe only)
 
@@ -207,8 +209,28 @@ def get_kernel(name: str, backend: str) -> Callable:
 
 
 def dispatch(name: str, graph, backend: str | None = None) -> Callable:
-    """Resolve the backend for ``graph`` and return the kernel ``name``."""
-    return get_kernel(name, resolve_backend(graph, backend))
+    """Resolve the backend for ``graph`` and return the kernel ``name``.
+
+    When tracing is enabled the returned callable is wrapped in a
+    ``kernel.<name>`` telemetry span carrying the concrete backend and graph
+    size; when disabled (the default) the raw kernel is returned, so the
+    hot path pays nothing beyond one truthiness check here.
+    """
+    concrete = resolve_backend(graph, backend)
+    kernel = get_kernel(name, concrete)
+    if not tracing_enabled():
+        return kernel
+
+    def traced_kernel(*args, **kwargs):
+        with span(
+            f"kernel.{name}",
+            backend=concrete,
+            n=graph.number_of_nodes,
+            m=graph.number_of_edges,
+        ):
+            return kernel(*args, **kwargs)
+
+    return traced_kernel
 
 
 __all__ = [

@@ -35,6 +35,7 @@ from typing import NamedTuple
 from repro.graph.components import giant_component
 from repro.graph.simple_graph import SimpleGraph
 from repro.kernels.backend import dispatch, resolve_backend
+from repro.telemetry import counter_inc, span
 from repro.utils.rng import RngLike
 
 
@@ -112,73 +113,133 @@ def shared_sweep(
     exact = sources is None or sources >= n
     concrete = resolve_backend(graph, backend)
     key = ("sweep", concrete)
-    cached = _cache(graph).get(key) if exact else None
-    if (
-        cached is not None
-        and (cached.centrality is not None or not want_betweenness)
-        and (cached.edge_load is not None or not want_edge_load)
-    ):
-        return cached
-    if cached is not None:
-        # upgrade: keep whatever accumulation the cached sweep already holds
-        want_betweenness = want_betweenness or cached.centrality is not None
-        want_edge_load = want_edge_load or cached.edge_load is not None
-    source_nodes, scale = sample_sources(n, sources, rng)
-    histogram, centrality, edge_load = dispatch("bfs_sweep", graph, backend)(
-        graph, source_nodes, want_betweenness, want_edge_load
-    )
-    result = SweepResult(dict(sorted(histogram.items())), centrality, scale, edge_load)
-    if exact:
-        _cache(graph)[key] = result
-    return result
+    with span(
+        "intermediate.sweep", backend=concrete, n=n, m=graph.number_of_edges
+    ) as sp:
+        cached = _cache(graph).get(key) if exact else None
+        if (
+            cached is not None
+            and (cached.centrality is not None or not want_betweenness)
+            and (cached.edge_load is not None or not want_edge_load)
+        ):
+            sp.set(cache="hit")
+            counter_inc("repro_intermediate_total", kind="sweep", outcome="hit")
+            return cached
+        if cached is not None:
+            # upgrade: keep whatever accumulation the cached sweep already holds
+            want_betweenness = want_betweenness or cached.centrality is not None
+            want_edge_load = want_edge_load or cached.edge_load is not None
+        source_nodes, scale = sample_sources(n, sources, rng)
+        sp.set(cache="miss", sources=len(source_nodes))
+        counter_inc("repro_intermediate_total", kind="sweep", outcome="miss")
+        counter_inc("repro_sweep_sources_total", len(source_nodes))
+        histogram, centrality, edge_load = dispatch("bfs_sweep", graph, backend)(
+            graph, source_nodes, want_betweenness, want_edge_load
+        )
+        result = SweepResult(
+            dict(sorted(histogram.items())), centrality, scale, edge_load
+        )
+        if exact:
+            _cache(graph)[key] = result
+        return result
 
 
 def shared_triangles(graph: SimpleGraph, *, backend: str | None = None) -> list[int]:
     """Per-node triangle counts (one triangle pass, cached)."""
-    key = ("triangles", resolve_backend(graph, backend))
+    concrete = resolve_backend(graph, backend)
+    key = ("triangles", concrete)
     cache = _cache(graph)
     counts = cache.get(key)
-    if counts is None:
-        counts = dispatch("triangles_per_node", graph, backend)(graph)
-        cache[key] = counts
-    return counts
+    with span(
+        "intermediate.triangles",
+        backend=concrete,
+        n=graph.number_of_nodes,
+        m=graph.number_of_edges,
+        cache="hit" if counts is not None else "miss",
+    ):
+        counter_inc(
+            "repro_intermediate_total",
+            kind="triangles",
+            outcome="hit" if counts is not None else "miss",
+        )
+        if counts is None:
+            counts = dispatch("triangles_per_node", graph, backend)(graph)
+            cache[key] = counts
+        return counts
 
 
 def shared_edge_moments(
     graph: SimpleGraph, *, backend: str | None = None
 ) -> tuple[int, int, int]:
     """``(Σ k_u·k_v, Σ (k_u+k_v), Σ (k_u²+k_v²))`` over edges (cached)."""
-    key = ("edge_moments", resolve_backend(graph, backend))
+    concrete = resolve_backend(graph, backend)
+    key = ("edge_moments", concrete)
     cache = _cache(graph)
     moments = cache.get(key)
-    if moments is None:
-        moments = dispatch("edge_degree_moments", graph, backend)(graph)
-        cache[key] = moments
-    return moments
+    with span(
+        "intermediate.edge_moments",
+        backend=concrete,
+        n=graph.number_of_nodes,
+        m=graph.number_of_edges,
+        cache="hit" if moments is not None else "miss",
+    ):
+        counter_inc(
+            "repro_intermediate_total",
+            kind="edge_moments",
+            outcome="hit" if moments is not None else "miss",
+        )
+        if moments is None:
+            moments = dispatch("edge_degree_moments", graph, backend)(graph)
+            cache[key] = moments
+        return moments
 
 
 def shared_second_order(graph: SimpleGraph, *, backend: str | None = None) -> int:
     """The ordered-wedge degree-product total (twice S2; cached)."""
-    key = ("second_order", resolve_backend(graph, backend))
+    concrete = resolve_backend(graph, backend)
+    key = ("second_order", concrete)
     cache = _cache(graph)
     total = cache.get(key)
-    if total is None:
-        total = dispatch("second_order_total", graph, backend)(graph)
-        cache[key] = total
-    return total
+    with span(
+        "intermediate.second_order",
+        backend=concrete,
+        n=graph.number_of_nodes,
+        m=graph.number_of_edges,
+        cache="hit" if total is not None else "miss",
+    ):
+        counter_inc(
+            "repro_intermediate_total",
+            kind="second_order",
+            outcome="hit" if total is not None else "miss",
+        )
+        if total is None:
+            total = dispatch("second_order_total", graph, backend)(graph)
+            cache[key] = total
+        return total
 
 
 def shared_spectrum(graph: SimpleGraph) -> tuple[float, float]:
     """``(λ_1, λ_{n-1})`` of the normalized Laplacian (cached)."""
     cache = _cache(graph)
     extremes = cache.get("spectrum")
-    if extremes is None:
-        # deferred so everything else imports without scipy
-        from repro.metrics.spectrum import extreme_eigenvalues
+    with span(
+        "intermediate.spectrum",
+        n=graph.number_of_nodes,
+        m=graph.number_of_edges,
+        cache="hit" if extremes is not None else "miss",
+    ):
+        counter_inc(
+            "repro_intermediate_total",
+            kind="spectrum",
+            outcome="hit" if extremes is not None else "miss",
+        )
+        if extremes is None:
+            # deferred so everything else imports without scipy
+            from repro.metrics.spectrum import extreme_eigenvalues
 
-        extremes = extreme_eigenvalues(graph)
-        cache["spectrum"] = extremes
-    return extremes
+            extremes = extreme_eigenvalues(graph)
+            cache["spectrum"] = extremes
+        return extremes
 
 
 __all__ = [

@@ -62,9 +62,16 @@ from repro.graph.simple_graph import SimpleGraph
 from repro.measure.plan import MeasurementPlan, encode_metric_value
 from repro.measure.registry import available_metrics
 from repro.service.coalesce import SingleFlight
-from repro.service.httputil import HTTPError, Request, encode_response, read_request
+from repro.service.httputil import (
+    HTTPError,
+    Request,
+    TextResponse,
+    encode_response,
+    read_request,
+)
 from repro.service.jobs import JobManager
 from repro.service.stats import ServiceStats
+from repro.telemetry import counter_value, render_prometheus, span
 
 log = logging.getLogger("repro.service")
 
@@ -183,7 +190,7 @@ class TopologyService:
     def _launch(self, fn: Callable[[], Any]) -> asyncio.Future:
         """Admit one computation into the worker pool (or 503)."""
         if self._active >= self._admission_limit():
-            self.stats.rejected += 1
+            self.stats.record_rejected()
             raise HTTPError(
                 503,
                 f"worker pool saturated ({self._active} computations in flight, "
@@ -213,7 +220,7 @@ class TopologyService:
                 self.flights.run(key, lambda: self._launch(fn)), timeout
             )
         except (asyncio.TimeoutError, TimeoutError):
-            self.stats.timeouts += 1
+            self.stats.record_timeout()
             raise HTTPError(
                 504,
                 f"computation for key {key[:16]}… exceeded the "
@@ -331,7 +338,57 @@ class TopologyService:
                 "limit": self._admission_limit(),
             },
             jobs=self.jobs.counts(),
+            telemetry=self._telemetry_overview(),
         )
+
+    @staticmethod
+    def _telemetry_overview() -> dict[str, Any]:
+        """Process-global counter families summarized for ``/v1/stats``.
+
+        Counts the whole process — the service's own store traffic plus any
+        in-process experiment jobs — unlike ``ServiceStats``, which counts
+        only what passed through the request path.
+        """
+        store = {
+            category: {
+                "hit": int(
+                    counter_value(
+                        "repro_store_reads_total", category=category, outcome="hit"
+                    )
+                ),
+                "miss": int(
+                    counter_value(
+                        "repro_store_reads_total", category=category, outcome="miss"
+                    )
+                ),
+                "writes": int(
+                    counter_value("repro_store_writes_total", category=category)
+                ),
+                "write_bytes": int(
+                    counter_value("repro_store_write_bytes_total", category=category)
+                ),
+            }
+            for category in ("graphs", "metrics", "cells")
+        }
+        return {
+            "store": store,
+            "memo_metric_hits": int(counter_value("repro_memo_metric_hits_total")),
+            "memo_metric_misses": int(counter_value("repro_memo_metric_misses_total")),
+            "coalescer_started": int(counter_value("repro_coalescer_started_total")),
+            "coalescer_joined": int(counter_value("repro_coalescer_joined_total")),
+            "experiment_cells": {
+                "computed": int(
+                    counter_value("repro_experiment_cells_total", outcome="computed")
+                ),
+                "cached": int(
+                    counter_value("repro_experiment_cells_total", outcome="cached")
+                ),
+            },
+        }
+
+    async def _handle_metrics(self, request: Request) -> tuple[int, Any]:
+        """``GET /v1/metrics``: the Prometheus text exposition."""
+        return 200, TextResponse(render_prometheus())
 
     async def _handle_store_info(self, request: Request) -> tuple[int, Any]:
         if self.store is None:
@@ -775,6 +832,7 @@ class TopologyService:
         return [
             ("GET", re.compile(r"^/v1/healthz$"), self._handle_healthz, "GET /v1/healthz"),
             ("GET", re.compile(r"^/v1/stats$"), self._handle_stats, "GET /v1/stats"),
+            ("GET", re.compile(r"^/v1/metrics$"), self._handle_metrics, "GET /v1/metrics"),
             (
                 "GET",
                 re.compile(r"^/v1/store/info$"),
@@ -867,17 +925,21 @@ class TopologyService:
         start = time.perf_counter()
         template = f"{request.method} {request.path}"
         headers: dict[str, str] = {}
-        try:
-            handler, template = self._match(request)
-            status, payload = await handler(request)
-        except HTTPError as error:
-            status, payload = error.status, {"error": str(error)}
-            headers = error.headers
-        except (ServiceError, StoreError, ExperimentError) as error:
-            status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
-        except Exception as error:  # noqa: BLE001 - connection isolation boundary
-            log.exception("unhandled error serving %s %s", request.method, request.path)
-            status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+        with span("service.request", method=request.method, path=request.path) as sp:
+            try:
+                handler, template = self._match(request)
+                status, payload = await handler(request)
+            except HTTPError as error:
+                status, payload = error.status, {"error": str(error)}
+                headers = error.headers
+            except (ServiceError, StoreError, ExperimentError) as error:
+                status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+            except Exception as error:  # noqa: BLE001 - connection isolation boundary
+                log.exception(
+                    "unhandled error serving %s %s", request.method, request.path
+                )
+                status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+            sp.set(route=template, status=status)
         elapsed = time.perf_counter() - start
 
         self.stats.observe_request(template, status, elapsed)

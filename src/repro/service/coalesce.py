@@ -19,6 +19,8 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Awaitable, Callable
 
+from repro.telemetry.metrics import counter_inc
+
 
 class SingleFlight:
     """Keyed coalescing table: one in-flight computation per key."""
@@ -52,9 +54,11 @@ class SingleFlight:
         existing = self._inflight.get(key)
         if existing is not None:
             self.joined += 1
+            counter_inc("repro_coalescer_joined_total")
             return await asyncio.shield(existing), True
         task = asyncio.ensure_future(start())
         self.started += 1
+        counter_inc("repro_coalescer_started_total")
         self._inflight[key] = task
         task.add_done_callback(lambda _task: self._inflight.pop(key, None))
         return await asyncio.shield(task), False

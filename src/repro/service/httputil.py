@@ -135,6 +135,19 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
     )
 
 
+@dataclass
+class TextResponse:
+    """A non-JSON response body (e.g. the Prometheus text exposition).
+
+    Handlers normally return JSON-able payloads; returning one of these
+    instead makes :func:`encode_response` send ``text`` verbatim under
+    ``content_type``.
+    """
+
+    text: str
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8"
+
+
 def encode_response(
     status: int,
     payload: Any,
@@ -142,12 +155,21 @@ def encode_response(
     headers: Mapping[str, str] | None = None,
     keep_alive: bool = True,
 ) -> bytes:
-    """Serialize one JSON response (status line + headers + body)."""
-    body = json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+    """Serialize one response (status line + headers + body).
+
+    ``payload`` is JSON-encoded unless it is a :class:`TextResponse`, which
+    is sent as-is with its own content type.
+    """
+    if isinstance(payload, TextResponse):
+        body = payload.text.encode("utf-8")
+        content_type = payload.content_type
+    else:
+        body = json.dumps(payload, sort_keys=True, default=repr).encode("utf-8")
+        content_type = "application/json"
     reason = REASONS.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {reason}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
@@ -196,6 +218,7 @@ async def read_response(reader: asyncio.StreamReader) -> tuple[int, dict[str, st
 __all__ = [
     "HTTPError",
     "Request",
+    "TextResponse",
     "read_request",
     "encode_response",
     "encode_request",

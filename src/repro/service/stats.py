@@ -1,53 +1,46 @@
 """In-process service telemetry: request counters and latency histograms.
 
 Everything here is plain data updated from the event loop (one thread), so
-no locking is needed.  :meth:`ServiceStats.to_dict` renders the snapshot the
-``GET /v1/stats`` endpoint returns: per-route request/error counts with
-p50/p95/p99 latencies, the cache hit/miss/coalesced counters of the
-single-flight layer, and admission-control state.
+no locking beyond the shared registry's is needed.  The percentile machinery
+lives in :class:`repro.telemetry.metrics.Histogram`; this module keeps only
+the service-flavoured rendering (:meth:`LatencyHistogram.summary_ms`) and the
+per-daemon aggregate (:class:`ServiceStats`), whose observations are also
+mirrored into the process-global telemetry registry — the Prometheus
+families behind ``GET /v1/metrics``:
+
+* ``repro_requests_total{route,status}``
+* ``repro_request_latency_seconds{route}`` (summary)
+* ``repro_service_cache_total{outcome}``, ``repro_service_rejected_total``,
+  ``repro_service_timeouts_total``
+
+:meth:`ServiceStats.to_dict` renders the snapshot the ``GET /v1/stats``
+endpoint returns: per-route request/error counts with p50/p95/p99 latencies,
+the cache hit/miss/coalesced counters of the single-flight layer, and
+admission-control state.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
 from typing import Any
 
+from repro.telemetry.metrics import Histogram, counter_inc, observe
 
-class LatencyHistogram:
-    """Sliding window of observed latencies with on-demand percentiles.
 
-    A bounded deque of the most recent ``maxlen`` samples: percentile
+class LatencyHistogram(Histogram):
+    """A :class:`~repro.telemetry.metrics.Histogram` of request latencies.
+
+    A bounded window of the most recent ``maxlen`` samples: percentile
     queries sort a copy, which at the default window size is microseconds —
     far simpler than maintaining bucketed histograms, and the sliding window
     keeps the numbers describing *recent* traffic.
     """
 
-    def __init__(self, maxlen: int = 4096):
-        self._samples: deque[float] = deque(maxlen=maxlen)
-        self.count = 0
-        self.total = 0.0
-
-    def observe(self, seconds: float) -> None:
-        """Record one latency observation (in seconds)."""
-        self._samples.append(seconds)
-        self.count += 1
-        self.total += seconds
-
-    def percentile(self, q: float) -> float:
-        """Nearest-rank percentile (``q`` in 0..100) over the window."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
-
     def summary_ms(self) -> dict[str, float]:
         """Count, mean and p50/p95/p99 of the window, in milliseconds."""
-        mean = self.total / self.count if self.count else 0.0
         return {
             "count": self.count,
-            "mean_ms": round(mean * 1000.0, 3),
+            "mean_ms": round(self.mean * 1000.0, 3),
             "p50_ms": round(self.percentile(50) * 1000.0, 3),
             "p95_ms": round(self.percentile(95) * 1000.0, 3),
             "p99_ms": round(self.percentile(99) * 1000.0, 3),
@@ -55,7 +48,12 @@ class LatencyHistogram:
 
 
 class ServiceStats:
-    """Aggregate counters of one daemon process."""
+    """Aggregate counters of one daemon process.
+
+    Per-instance state (so tests spinning up several services stay
+    independent), with every observation mirrored into the global telemetry
+    registry for the Prometheus exposition.
+    """
 
     def __init__(self):
         self.started = time.time()
@@ -81,10 +79,23 @@ class ServiceStats:
         if status >= 400:
             entry["errors"] += 1
         entry["latency"].observe(seconds)
+        counter_inc("repro_requests_total", route=route, status=str(status))
+        observe("repro_request_latency_seconds", seconds, route=route)
 
     def record_cache(self, outcome: str) -> None:
         """Count one cache outcome: ``hit``, ``miss`` or ``coalesced``."""
         self.cache[outcome] += 1
+        counter_inc("repro_service_cache_total", outcome=outcome)
+
+    def record_rejected(self) -> None:
+        """Count one admission-control 503."""
+        self.rejected += 1
+        counter_inc("repro_service_rejected_total")
+
+    def record_timeout(self) -> None:
+        """Count one per-request deadline 504."""
+        self.timeouts += 1
+        counter_inc("repro_service_timeouts_total")
 
     def hit_ratio(self) -> float:
         """Warm share of all keyed requests (hits + coalesced over total)."""

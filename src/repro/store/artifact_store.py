@@ -35,6 +35,7 @@ from repro.exceptions import GraphError, StoreError
 from repro.graph.simple_graph import SimpleGraph
 from repro.store.keys import STORE_SCHEMA_VERSION, code_version
 from repro.store.serialize import read_graph_artifact, write_graph_artifact
+from repro.telemetry.metrics import counter_inc, counter_value
 
 PathLike = Union[str, Path]
 
@@ -146,36 +147,67 @@ class ArtifactStore:
             shutil.rmtree(tmp, ignore_errors=True)  # lost the race: keep the winner
             if not final.is_dir():
                 raise
+        counter_inc("repro_store_writes_total", category="graphs")
+        counter_inc(
+            "repro_store_write_bytes_total",
+            sum(child.stat().st_size for child in final.iterdir() if child.is_file()),
+            category="graphs",
+        )
         return manifest
 
     def get_graph(self, key: str) -> tuple[SimpleGraph, dict[str, Any]] | None:
         """Load ``(graph, manifest)`` for ``key``, or ``None`` on a miss."""
         directory = self._graph_dir(key)
         if not directory.is_dir():
+            counter_inc("repro_store_reads_total", category="graphs", outcome="miss")
             return None
         try:
-            return read_graph_artifact(directory)
+            loaded = read_graph_artifact(directory)
         except (StoreError, GraphError, OSError, ValueError, EOFError, zlib.error):
-            return None  # corrupt entry (bad payload, manifest, or gzip): miss
+            loaded = None  # corrupt entry (bad payload, manifest, or gzip): miss
+        counter_inc(
+            "repro_store_reads_total",
+            category="graphs",
+            outcome="hit" if loaded is not None else "miss",
+        )
+        return loaded
 
     # ------------------------------------------------------------------ #
     # metrics and experiment cells
     # ------------------------------------------------------------------ #
     def put_metric(self, key: str, payload: dict[str, Any]) -> None:
         """Store a metric-result payload under ``key``."""
-        self._put_json("metrics", key, payload)
+        self._put_json_counted("metrics", key, payload)
 
     def get_metric(self, key: str) -> dict[str, Any] | None:
         """Load a metric-result payload, or ``None`` on a miss."""
-        return self._get_json("metrics", key)
+        return self._get_json_counted("metrics", key)
 
     def put_cell(self, key: str, payload: dict[str, Any]) -> None:
         """Store a per-cell experiment manifest under ``key``."""
-        self._put_json("cells", key, payload)
+        self._put_json_counted("cells", key, payload)
 
     def get_cell(self, key: str) -> dict[str, Any] | None:
         """Load a per-cell experiment manifest, or ``None`` on a miss."""
-        return self._get_json("cells", key)
+        return self._get_json_counted("cells", key)
+
+    def _put_json_counted(self, category: str, key: str, payload: dict[str, Any]) -> None:
+        self._put_json(category, key, payload)
+        counter_inc("repro_store_writes_total", category=category)
+        try:
+            size = self._json_path(category, key).stat().st_size
+        except OSError:
+            size = 0
+        counter_inc("repro_store_write_bytes_total", size, category=category)
+
+    def _get_json_counted(self, category: str, key: str) -> dict[str, Any] | None:
+        payload = self._get_json(category, key)
+        counter_inc(
+            "repro_store_reads_total",
+            category=category,
+            outcome="hit" if payload is not None else "miss",
+        )
+        return payload
 
     # ------------------------------------------------------------------ #
     # maintenance
@@ -297,4 +329,32 @@ class ArtifactStore:
         return f"ArtifactStore(root={str(self.root)!r}, compress={self.compress})"
 
 
-__all__ = ["ArtifactStore"]
+def store_process_counters() -> dict[str, Any]:
+    """Store hit/miss/write counters accumulated *by this process*.
+
+    Telemetry counters are process-global (not per-store-instance, and not
+    persisted on disk), so this reports the activity of the current process
+    against whichever stores it touched.  Shape::
+
+        {"reads": {"graphs": {"hit": 3, "miss": 1}, ...},
+         "writes": {"graphs": 1, ...},
+         "write_bytes": {"graphs": 15234, ...}}
+    """
+    reads: dict[str, dict[str, int]] = {}
+    writes: dict[str, int] = {}
+    write_bytes: dict[str, int] = {}
+    for category in _CATEGORIES:
+        reads[category] = {
+            outcome: int(
+                counter_value("repro_store_reads_total", category=category, outcome=outcome)
+            )
+            for outcome in ("hit", "miss")
+        }
+        writes[category] = int(counter_value("repro_store_writes_total", category=category))
+        write_bytes[category] = int(
+            counter_value("repro_store_write_bytes_total", category=category)
+        )
+    return {"reads": reads, "writes": writes, "write_bytes": write_bytes}
+
+
+__all__ = ["ArtifactStore", "store_process_counters"]

@@ -1,0 +1,237 @@
+"""Hierarchical tracing spans with Chrome trace-event export.
+
+Tracing is **off by default** and costs a single module-global truthiness
+check per :func:`span` call when disabled (the call returns a shared no-op
+context manager; nothing is allocated, nothing is locked).  Enable it with
+:func:`enable_tracing` or the ``REPRO_TRACE`` environment variable, then::
+
+    with span("experiment.cell", topology="hot_small", d=2) as sp:
+        ...
+        sp.set(cache="hit")
+
+Finished spans become Chrome trace-event ``"X"`` (complete) events — load
+the output of :func:`write_chrome_trace` in ``chrome://tracing`` or
+https://ui.perfetto.dev for a flame view.  Timestamps are wall-clock
+microseconds (``time.time_ns() // 1000``) so events from ProcessPoolExecutor
+workers align with the parent on a shared axis; durations come from
+``perf_counter_ns`` for monotonic accuracy.  Nesting is implied by time
+containment within a ``(pid, tid)`` lane, which is exactly how the trace
+viewers stack spans; :attr:`Span.depth` additionally records the in-thread
+nesting depth for tests and post-processing.
+
+Worker processes call :func:`take_events` after each unit of work and ship
+the buffer back with the result; the parent folds it in via
+:func:`add_events` (see ``repro.experiment``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any
+
+__all__ = [
+    "Span",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "take_events",
+    "add_events",
+    "event_count",
+    "chrome_trace",
+    "write_chrome_trace",
+    "maybe_enable_from_env",
+    "TRACE_ENV_VAR",
+]
+
+#: set this environment variable to a truthy value (or an output path) to
+#: enable tracing at import time in any process, pool workers included
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+_FALSY_ENV = {"", "0", "false", "no", "off"}
+
+
+class _Tracer:
+    """Locked buffer of finished Chrome trace events for this process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events: list[dict[str, Any]] = []
+        self._local = threading.local()
+
+    # depth bookkeeping (per-thread) --------------------------------------
+    def _enter(self) -> int:
+        depth = getattr(self._local, "depth", 0)
+        self._local.depth = depth + 1
+        return depth
+
+    def _exit(self) -> None:
+        self._local.depth = getattr(self._local, "depth", 1) - 1
+
+    def record(self, event: dict[str, Any]) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def take(self) -> list[dict[str, Any]]:
+        with self._lock:
+            events, self._events = self._events, []
+            return events
+
+    def extend(self, events: list[dict[str, Any]]) -> None:
+        with self._lock:
+            self._events.extend(events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+#: the whole disabled-mode cost: ``_TRACER is None`` in :func:`span`
+_TRACER: _Tracer | None = None
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """A live span; records itself as a Chrome ``"X"`` event on exit."""
+
+    __slots__ = ("name", "args", "depth", "_tracer", "_wall_us", "_perf_ns")
+
+    def __init__(self, tracer: _Tracer, name: str, args: dict[str, Any]):
+        self.name = name
+        self.args = args
+        self.depth = 0
+        self._tracer = tracer
+        self._wall_us = 0
+        self._perf_ns = 0
+
+    def __enter__(self) -> "Span":
+        self.depth = self._tracer._enter()
+        self._wall_us = time.time_ns() // 1000
+        self._perf_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur_us = (time.perf_counter_ns() - self._perf_ns) // 1000
+        self._tracer._exit()
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        event = {
+            "name": self.name,
+            "ph": "X",
+            "cat": "repro",
+            "ts": self._wall_us,
+            "dur": dur_us,
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+            "args": {**self.args, "depth": self.depth},
+        }
+        self._tracer.record(event)
+
+    def set(self, **attrs: Any) -> None:
+        """Attach/overwrite attributes on the span before it closes."""
+        self.args.update(attrs)
+
+
+def span(name: str, /, **attrs: Any):
+    """Open a span; a shared no-op when tracing is disabled.
+
+    ``name`` is positional-only, so ``span("experiment.run", name=...)`` is
+    valid — the keyword lands in the span's attributes.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return _NOOP_SPAN
+    return Span(tracer, name, attrs)
+
+
+def enable_tracing() -> None:
+    global _TRACER
+    if _TRACER is None:
+        _TRACER = _Tracer()
+
+
+def disable_tracing() -> None:
+    """Turn tracing off and drop any buffered events."""
+    global _TRACER
+    _TRACER = None
+
+
+def tracing_enabled() -> bool:
+    return _TRACER is not None
+
+
+def take_events() -> list[dict[str, Any]]:
+    """Drain and return this process's finished span events (oldest first)."""
+    tracer = _TRACER
+    return tracer.take() if tracer is not None else []
+
+
+def add_events(events: list[dict[str, Any]]) -> None:
+    """Fold span events from another process (no-op while disabled)."""
+    tracer = _TRACER
+    if tracer is not None and events:
+        tracer.extend(events)
+
+
+def event_count() -> int:
+    tracer = _TRACER
+    return len(tracer) if tracer is not None else 0
+
+
+def chrome_trace(events: list[dict[str, Any]] | None = None) -> dict[str, Any]:
+    """Wrap events (default: drain the live buffer) as a Chrome trace document."""
+    if events is None:
+        events = take_events()
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, events: list[dict[str, Any]] | None = None) -> int:
+    """Write a Chrome trace JSON file; returns the number of events written."""
+    doc = chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return len(doc["traceEvents"])
+
+
+def maybe_enable_from_env(environ: dict[str, str] | None = None) -> str | None:
+    """Enable tracing if ``REPRO_TRACE`` is set; returns the output path.
+
+    A truthy value enables tracing; a value that looks like a path (anything
+    other than ``1``/``true``/``yes``/``on``) doubles as the trace-file
+    destination.  Returns the path (or ``None`` for "enabled, no file"), or
+    ``None`` without enabling when the variable is unset/falsy.
+    """
+    env = os.environ if environ is None else environ
+    raw = env.get(TRACE_ENV_VAR, "").strip()
+    if raw.lower() in _FALSY_ENV:
+        return None
+    enable_tracing()
+    if raw.lower() in {"1", "true", "yes", "on"}:
+        return None
+    return raw
+
+
+# Pool workers inherit the environment, not the parent's module globals —
+# honour REPRO_TRACE at import time so worker-side spans are captured too.
+maybe_enable_from_env()

@@ -59,6 +59,7 @@ _NUMPY_ONLY = [
     "test_store_serialize.py",
     "test_swaps.py",
     "test_targeting.py",
+    "test_telemetry_experiment.py",
     "test_threek.py",
     "test_topologies.py",
 ]

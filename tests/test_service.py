@@ -457,6 +457,41 @@ def test_stats_reports_routes_cache_and_admission(service, counting_generator):
     assert stats["coalescing"]["started"] == 2
 
 
+def test_metrics_endpoint_serves_prometheus_exposition(service, counting_generator):
+    from repro.service.httputil import encode_request, read_response
+
+    async def scenario(client):
+        # generate twice: one miss, one store-warm hit — then scrape raw
+        # (the JSON client can't parse the text exposition)
+        await client.generate(method=COUNTING, edges=EDGES, d=0, seed=4)
+        await client.generate(method=COUNTING, edges=EDGES, d=0, seed=4)
+        reader, writer = await asyncio.open_connection("127.0.0.1", client.port)
+        writer.write(encode_request("GET", "/v1/metrics", keep_alive=False))
+        await writer.drain()
+        status, headers, body = await read_response(reader)
+        writer.close()
+        stats = await client.stats()
+        return status, headers, body.decode("utf-8"), stats
+
+    status, headers, text, stats = drive(service, scenario)
+    assert status == 200
+    assert headers["content-type"].startswith("text/plain")
+    assert "version=0.0.4" in headers["content-type"]
+
+    assert "# TYPE repro_requests_total counter" in text
+    assert "# TYPE repro_request_latency_seconds summary" in text
+    assert 'repro_requests_total{route="POST /v1/graphs",status="200"}' in text
+    assert 'repro_service_cache_total{outcome="hit"}' in text
+    assert 'repro_service_cache_total{outcome="miss"}' in text
+    assert "repro_coalescer_started_total" in text
+    assert 'repro_request_latency_seconds_count{route="POST /v1/graphs"}' in text
+
+    # /v1/stats carries the process-global counter overview alongside
+    telemetry = stats["telemetry"]
+    assert telemetry["coalescer_started"] >= 2
+    assert telemetry["store"]["graphs"]["writes"] >= 1
+
+
 def test_http_error_statuses(service):
     async def scenario(client):
         results = {}

@@ -1,0 +1,106 @@
+"""Telemetry through the experiment pipeline: pool workers and warm caches.
+
+The cross-process contract under test: spans and metric deltas produced
+inside ProcessPoolExecutor workers ship back with each RunRecord and are
+folded into the parent's buffers, so one trace file / one counter registry
+describes the whole run.  Requires NumPy (the construction algorithms do).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.experiment import ExperimentSpec, run_experiment
+from repro.graph.simple_graph import SimpleGraph
+
+
+def ring_with_chords(n=24):
+    edges = [(i, (i + 1) % n) for i in range(n)] + [(i, (i + 5) % n) for i in range(n)]
+    return SimpleGraph.from_edges(edges)
+
+
+def make_spec():
+    return ExperimentSpec(
+        topologies=[ring_with_chords()],
+        methods=["rewiring"],
+        d_levels=[0, 1],
+        replicates=1,
+        seed=3,
+        metrics=["average_degree", "assortativity"],
+    )
+
+
+@pytest.fixture
+def tracing():
+    telemetry.enable_tracing()
+    telemetry.take_events()
+    yield
+    telemetry.disable_tracing()
+
+
+def test_pool_workers_ship_spans_back_to_the_parent(tracing, tmp_path):
+    result = run_experiment(
+        make_spec(), workers=2, store=tmp_path / "store", resume=True
+    )
+    events = telemetry.take_events()
+
+    pids = {event["pid"] for event in events}
+    assert os.getpid() in pids  # the parent's own experiment.run span
+    assert len(pids) >= 2  # at least one pool worker contributed events
+
+    names = {event["name"] for event in events}
+    assert "experiment.run" in names
+    assert "store.generate" in names and "store.measure" in names
+
+    cells = [event for event in events if event["name"] == "experiment.cell"]
+    assert len(cells) == len(result.records)
+    assert all(cell["args"]["cache"] == "miss" for cell in cells)
+    # the ship-payload field is consumed on absorption, never serialized
+    assert all(record.telemetry is None for record in result.records)
+
+
+def test_worker_counters_merge_and_warm_rerun_traces_hits(tracing, tmp_path):
+    computed_before = telemetry.counter_value(
+        "repro_experiment_cells_total", outcome="computed"
+    )
+    writes_before = telemetry.counter_value("repro_store_writes_total")
+
+    cold = run_experiment(make_spec(), workers=2, store=tmp_path / "store", resume=True)
+    telemetry.take_events()
+
+    computed = telemetry.counter_value(
+        "repro_experiment_cells_total", outcome="computed"
+    )
+    assert computed - computed_before == len(cold.records)
+    # worker-side store writes (graphs, metrics, cells) merged into the parent
+    assert telemetry.counter_value("repro_store_writes_total") > writes_before
+
+    cached_before = telemetry.counter_value(
+        "repro_experiment_cells_total", outcome="cached"
+    )
+    warm = run_experiment(make_spec(), store=tmp_path / "store", resume=True)
+    assert warm.cached_cells == len(cold.records)
+    cached = telemetry.counter_value("repro_experiment_cells_total", outcome="cached")
+    assert cached - cached_before == len(warm.records)
+
+    cells = [
+        event
+        for event in telemetry.take_events()
+        if event["name"] == "experiment.cell"
+    ]
+    assert len(cells) == len(warm.records)
+    assert all(cell["args"]["cache"] == "hit" for cell in cells)
+
+
+def test_disabled_tracing_still_aggregates_worker_counters(tmp_path):
+    telemetry.disable_tracing()
+    before = telemetry.counter_value("repro_experiment_cells_total", outcome="computed")
+    result = run_experiment(
+        make_spec(), workers=2, store=tmp_path / "store", resume=True
+    )
+    after = telemetry.counter_value("repro_experiment_cells_total", outcome="computed")
+    assert after - before == len(result.records)
+    assert telemetry.take_events() == []
