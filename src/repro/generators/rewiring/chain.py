@@ -13,12 +13,20 @@ from __future__ import annotations
 import warnings
 
 from repro.exceptions import RewiringConvergenceWarning
-from repro.telemetry.metrics import counter_inc
+from repro.telemetry.metrics import counter_inc, gauge_set
 
 #: Proposals drawn per vectorized batch.  A pure performance knob: the
 #: vectorized engine consumes each random stream per-proposal, so the chain's
 #: output is identical for every batch size.
 DEFAULT_BATCH_SIZE = 4096
+
+#: Default batch for the 3K chains.  Their wedge/triangle deltas are
+#: precomputed for the whole batch against a state snapshot, and every
+#: accepted move invalidates the precomputation for later proposals touching
+#: the same nodes (those fall back to an exact per-move recompute) — so the
+#: sweet spot is much smaller than for the d <= 2 chains.  Still a pure
+#: performance knob: the output is identical for every batch size.
+THREEK_BATCH_SIZE = 768
 
 
 def record_chain_stats(
@@ -56,6 +64,20 @@ def record_chain_stats(
         )
 
 
+def record_batch_efficiency(label: str, accepted: int, attempted: int) -> None:
+    """Publish the acceptance ratio of one proposal batch.
+
+    The vectorized engine calls this once per batch so operators can watch
+    ``repro_rewiring_batch_efficiency`` (accepted/attempted, labelled by
+    chain) on ``/v1/metrics`` — a chain whose ratio collapses is wasting its
+    precomputed batch work and wants a smaller ``batch_size``.
+    """
+    if attempted > 0:
+        gauge_set(
+            "repro_rewiring_batch_efficiency", accepted / attempted, chain=label
+        )
+
+
 def warn_not_converged(label: str, detail: str, *, stacklevel: int = 3) -> None:
     """Emit the driver-level non-convergence warning."""
     warnings.warn(
@@ -66,4 +88,10 @@ def warn_not_converged(label: str, detail: str, *, stacklevel: int = 3) -> None:
     )
 
 
-__all__ = ["DEFAULT_BATCH_SIZE", "record_chain_stats", "warn_not_converged"]
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "THREEK_BATCH_SIZE",
+    "record_batch_efficiency",
+    "record_chain_stats",
+    "warn_not_converged",
+]

@@ -25,6 +25,14 @@ implementation, which also runs without NumPy — while ``backend="csr"`` (or
 :mod:`repro.kernels.rewiring`.  Both engines are deterministic per seed and
 preserve the dK-invariants exactly; they draw different random streams, so
 they sample different members of the same dK-graph space.
+
+For d = 3 the vectorized engine evaluates the wedge/triangle acceptance
+test batched across each proposal block (CSR rows + adjacency bitset,
+packed-key reductions) instead of walking adjacency sets per move; accepted
+moves update the neighborhood structures incrementally, and proposals
+invalidated by an earlier accepted move in the same batch fall back to an
+exact scalar re-evaluation, keeping the chain's output independent of the
+batch size.
 """
 
 from __future__ import annotations

@@ -20,7 +20,11 @@ pipeline for dK-random graphs when no original graph is available:
 Like the randomizing chains, both processes run on either rewiring engine:
 the per-move loops in this module (``backend="python"``) or the vectorized
 batch engine in :mod:`repro.kernels.rewiring` (``backend="csr"``/``"auto"``).
-A chain that stops short of its target emits a
+The vectorized 3K-targeting chain keeps its objective as an incremental
+sufficient statistic — a ``current - target`` diff over packed wedge and
+triangle keys, updated per accepted move in O(deg) — so the Metropolis
+distance change is an exact integer and the distance trace is identical for
+every batch size.  A chain that stops short of its target emits a
 :class:`~repro.exceptions.RewiringConvergenceWarning`.
 """
 

@@ -35,6 +35,7 @@ from repro.telemetry.metrics import (
     counter_inc,
     counter_value,
     gauge_set,
+    gauge_value,
     get_registry,
     merge_metrics,
     metrics_snapshot,
@@ -63,6 +64,7 @@ __all__ = [
     "counter_inc",
     "counter_value",
     "gauge_set",
+    "gauge_value",
     "observe",
     "metrics_snapshot",
     "merge_metrics",

@@ -32,6 +32,7 @@ __all__ = [
     "counter_inc",
     "counter_value",
     "gauge_set",
+    "gauge_value",
     "observe",
     "metrics_snapshot",
     "merge_metrics",
@@ -156,6 +157,11 @@ class MetricsRegistry:
             if labels:
                 return self._counters.get((name, _label_key(labels)), 0)
             return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def gauge_value(self, name: str, default: float = 0.0, **labels: Any) -> float:
+        """Last value set on one labelled gauge series (``default`` if never set)."""
+        with self._lock:
+            return self._gauges.get((name, _label_key(labels)), default)
 
     def counter_series(self, name: str) -> dict[str, float]:
         """All labelled series of counter ``name`` as ``{label-repr: value}``."""
@@ -282,6 +288,10 @@ def counter_value(name: str, **labels: Any) -> float:
 
 def gauge_set(name: str, value: float, **labels: Any) -> None:
     _REGISTRY.gauge_set(name, value, **labels)
+
+
+def gauge_value(name: str, default: float = 0.0, **labels: Any) -> float:
+    return _REGISTRY.gauge_value(name, default, **labels)
 
 
 def observe(name: str, value: float, **labels: Any) -> None:

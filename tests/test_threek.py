@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import GraphError
 from repro.generators.rewiring.swaps import EdgeEndIndex, propose_2k_swap
@@ -11,7 +13,9 @@ from repro.generators.threek import (
     add_edge_delta,
     remove_edge_delta,
 )
+from repro.graph.simple_graph import SimpleGraph
 from repro.graph.subgraphs import triangle_degree_counts, wedge_degree_counts
+from repro.kernels import rewiring as vec
 
 
 def test_remove_edge_delta_on_triangle(triangle_graph):
@@ -82,6 +86,93 @@ def test_revert_restores_graph(square_with_diagonal):
     # the un-committed tracker still matches the (restored) graph
     assert tracker.wedges == wedge_degree_counts(square_with_diagonal)
     assert tracker.triangles == triangle_degree_counts(square_with_diagonal)
+
+
+# --------------------------------------------------------------------------- #
+# vectorized 3K delta kernel vs the _toggle_remove/_toggle_add reference
+# --------------------------------------------------------------------------- #
+def _random_simple_graph(seed, n=40, m=100):
+    rng = np.random.default_rng(seed)
+    graph = SimpleGraph(n)
+    attempts = 0
+    while graph.number_of_edges < m and attempts < 50 * m:
+        attempts += 1
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+def _valid_2k_proposals(state, adj, rng, count=8, tries=400):
+    """Random valid 2K swaps ``(a,b),(c,d) -> (a,d),(c,b)`` with kb == kd."""
+    degrees = state.degrees
+    edge_u, edge_v = state.edge_u, state.edge_v
+    proposals = []
+    for _ in range(tries):
+        if len(proposals) >= count:
+            break
+        i, j = (int(x) for x in rng.integers(state.m, size=2))
+        if i == j:
+            continue
+        a, b = (edge_u[i], edge_v[i]) if rng.integers(2) else (edge_v[i], edge_u[i])
+        c, d = (edge_u[j], edge_v[j]) if rng.integers(2) else (edge_v[j], edge_u[j])
+        if degrees[b] != degrees[d] or len({a, b, c, d}) < 4:
+            continue
+        if d in adj[a] or b in adj[c]:
+            continue
+        proposals.append((a, b, c, d))
+    return proposals
+
+
+def _pack_reference(wedges, triangles, rank, base, tri_off):
+    """The toggle reference's dicts as sorted unified rank-packed (key, net)
+    items — the degree->rank map is monotone, so tuple component order is
+    preserved."""
+    packed: dict[int, int] = {}
+    for (e1, center, e2), value in wedges.items():
+        key = (rank[e1] * base + rank[center]) * base + rank[e2]
+        packed[key] = packed.get(key, 0) + value
+    for (lo, mid, hi), value in triangles.items():
+        key = (rank[lo] * base + rank[mid]) * base + rank[hi] + tri_off
+        packed[key] = packed.get(key, 0) + value
+    return sorted(item for item in packed.items() if item[1])
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_vectorized_delta_matches_toggle_reference(seed):
+    """Hypothesis property: the batched and scalar packed-key 3K delta
+    evaluators agree item-for-item with the ``_toggle_remove``/``_toggle_add``
+    adjacency-set reference on random graphs and random valid 2K swaps."""
+    rng = np.random.default_rng(seed)
+    graph = _random_simple_graph(seed)
+    state = vec.RewiringState(graph)
+    adj = state.build_adjacency()
+    tk = vec._ThreeKState(state)
+    proposals = _valid_2k_proposals(state, adj, rng)
+    if not proposals:
+        return
+    expected = []
+    for a, b, c, d in proposals:
+        wedges, triangles = vec._swap_three_k_delta(adj, state.degrees, a, b, c, d)
+        vec._revert_swap_toggles(adj, a, b, c, d)
+        expected.append(
+            _pack_reference(wedges, triangles, tk.rank_list, tk.n_ranks, tk.n_ranks**3)
+        )
+    # scalar evaluator (the within-batch staleness path)
+    for (a, b, c, d), want in zip(proposals, expected):
+        assert vec._scalar_full_eval(tk, a, b, c, d) == want
+        assert vec._scalar_zero_eval(tk, a, b, c, d) == (not want)
+    # batched evaluator
+    arrays = [np.array(col, dtype=np.int64) for col in zip(*proposals)]
+    valid = np.ones(len(proposals), dtype=bool)
+    starts, keys, nets, slot_of = vec._batch_full_delta(tk, *arrays, valid)
+    zero = vec._batch_zero_delta(tk, *arrays, valid)
+    for k, want in enumerate(expected):
+        s0, s1 = starts[slot_of[k]], starts[slot_of[k] + 1]
+        assert list(zip(keys[s0:s1], nets[s0:s1])) == want
+        assert bool(zero[k]) == (not want)
 
 
 def test_node_triangle_tracking(square_with_diagonal):
