@@ -16,7 +16,7 @@ import time
 from pathlib import Path
 from typing import Any
 
-FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small") == "full"
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "full") == "full"
 
 #: Where the machine-readable results document is written.
 BENCH_RESULTS_PATH = os.environ.get("REPRO_BENCH_JSON", "BENCH_results.json")

@@ -72,10 +72,12 @@ def test_table7_and_fig7_2k_space_exploration(benchmark, skitter_graph):
         # 2K-preserving exploration cannot change k̄ or r
         assert columns[label]["kbar"] == pytest.approx(reference["kbar"], rel=1e-9)
         assert columns[label]["r"] == pytest.approx(reference["r"], abs=1e-9)
-        # the average distance moves, but stays in the same regime (the
-        # smaller synthetic original leaves the 2K space a bit more slack
-        # than the paper-scale skitter graph)
-        assert columns[label]["dbar"] == pytest.approx(reference["dbar"], rel=0.65)
+        # the average distance moves, but stays in the same regime: the
+        # paper's Table 7 itself records a 2.3x swing on skitter (3.12 for
+        # the original vs 7.21 under Max C), so bound the ratio, not a
+        # tight relative error
+        ratio = columns[label]["dbar"] / reference["dbar"]
+        assert 1 / 2.5 <= ratio <= 2.5, (label, columns[label]["dbar"], reference["dbar"])
     # the exploration produces a genuine clustering band around the 2K-random value
     assert columns["Min C"]["Cbar"] <= columns["2K-rand."]["Cbar"] <= columns["Max C"]["Cbar"]
     assert columns["Min S2"]["S2"] <= columns["Max S2"]["S2"]

@@ -43,7 +43,7 @@ Batch pipeline::
 
 from repro._lazy import lazy_exports
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 # Lazy re-exports (PEP 562): nothing heavy is imported until first attribute
 # access, so `import repro` (and the pure-Python analysis path under it)

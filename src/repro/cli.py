@@ -31,6 +31,11 @@ Experiment pipeline:
   bottleneck load, congestion percentiles and effective throughput.  Shares
   the experiment grid machinery, so ``--store``/``--resume`` give warm
   restarts for free.
+* ``rescale-gen`` -- the million-node pipeline: rescale a measured topology's
+  dK-1/dK-2 distribution to a target size (the paper's §6 rescaling
+  extension), streaming-generate the rescaled graph into a memory-mapped CSR
+  artifact at 10^6+ nodes with bounded memory, and measure it with sampled
+  Table-2 metrics through the ``biggraph`` kernel backend.
 * ``cache`` -- inspect (``info``, with ``--json`` for the machine-readable
   document ``GET /v1/store/info`` also serves, plus this process's store
   hit/miss/write counters), prune (``gc``) or empty (``clear``) an artifact
@@ -644,6 +649,193 @@ def workload_main(argv: list[str] | None = None) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# rescale-gen
+# --------------------------------------------------------------------------- #
+def rescale_gen_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro rescale-gen``: the million-node pipeline.
+
+    Measures a small topology, rescales its dK-1/dK-2 distribution to a
+    target size, streaming-generates the rescaled graph straight into an
+    on-disk memory-mapped CSR artifact (bounded memory, no SimpleGraph ever
+    materialized), then measures it with sampled Table-2 metrics through the
+    ``biggraph`` kernel backend.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.core.extraction import dk_distribution
+    from repro.generators.streaming import STREAMING_GENERATORS
+    from repro.measure.plan import TABLE2_CORE_METRICS
+    from repro.rescaling.rescale import rescale_degree_distribution
+    from repro.store.keys import code_version, stable_hash
+    from repro.store.memo import memoized_measure
+    from repro.store.serialize import graph_content_hash
+    from repro.telemetry import sample_peak_rss
+
+    parser = argparse.ArgumentParser(
+        prog="repro rescale-gen",
+        description="Rescale a topology's dK-distribution to a (much) larger "
+        "size, streaming-generate the rescaled graph as a memory-mapped CSR "
+        "artifact, and measure it with sampled Table-2 metrics.",
+    )
+    parser.add_argument(
+        "--input", required=True, help="edge-list file or registered topology name"
+    )
+    parser.add_argument(
+        "--target-n", type=int, required=True, help="node count of the rescaled graph"
+    )
+    parser.add_argument(
+        "-d", type=int, default=2, choices=(1, 2), help="dK level to rescale (default: 2)"
+    )
+    parser.add_argument(
+        "--method",
+        default="pseudograph",
+        choices=sorted({name for name, _ in STREAMING_GENERATORS}),
+        help="streaming construction family (default: pseudograph)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--distance-sources",
+        type=int,
+        default=None,
+        help="sampled BFS sources for distance metrics (exact when omitted; "
+        "strongly recommended at million-node scale)",
+    )
+    parser.add_argument(
+        "--encoding",
+        default="raw",
+        choices=("raw", "gap"),
+        help="on-disk adjacency encoding: 'raw' memory-maps directly, 'gap' "
+        "delta-encodes and compresses (smaller, decoded on load)",
+    )
+    parser.add_argument(
+        "--out", help="write the BigGraph artifact directory to this path"
+    )
+    parser.add_argument(
+        "--store",
+        help="artifact-store directory: memoize the generated graph (biggraphs "
+        "category) and its metric blocks",
+    )
+    parser.add_argument(
+        "--no-measure", action="store_true", help="generate only, skip measurement"
+    )
+    _add_metrics_argument(parser)
+    parser.add_argument("--json", help="write a JSON report to this file")
+    args = parser.parse_args(argv)
+    metric_names = _parse_metric_names(args.metrics, parser)
+    if args.target_n < 1:
+        parser.error("--target-n must be positive")
+
+    original = _load_graph(args.input)
+    store = ArtifactStore(args.store) if args.store else None
+    generator = STREAMING_GENERATORS[(args.method, args.d)]
+
+    graph = None
+    graph_key = None
+    if store is not None:
+        graph_key = stable_hash(
+            {
+                "kind": "rescale-gen",
+                "code_version": code_version(),
+                "source": graph_content_hash(original),
+                "target_n": args.target_n,
+                "d": args.d,
+                "method": args.method,
+                "seed": args.seed,
+            }
+        )
+        graph = store.get_biggraph(graph_key)
+    generation_seconds = None
+    if graph is None:
+        # one rng stream feeds rescale + generation, so the artifact is a
+        # pure function of (input, target_n, d, method, seed)
+        rng = np.random.default_rng(args.seed)
+        started = time.perf_counter()
+        if args.d == 1:
+            rescaled = rescale_degree_distribution(
+                dk_distribution(original, 1), args.target_n, rng=rng
+            )
+        else:
+            rescaled = rescale_jdd(dk_distribution(original, 2), args.target_n, rng=rng)
+        graph = generator(rescaled, rng=rng, path=args.out, encoding=args.encoding)
+        generation_seconds = time.perf_counter() - started
+        if store is not None:
+            store.put_biggraph(
+                graph_key,
+                graph,
+                encoding=args.encoding,
+                metadata={"code_version": code_version()},
+            )
+    rate = (
+        f", {graph.m / generation_seconds:,.0f} edges/s" if generation_seconds else ""
+    )
+    print(
+        f"rescaled {args.input} ({original.number_of_nodes} nodes) to "
+        f"{graph.n:,} nodes / {graph.m:,} edges "
+        f"({args.method} d={args.d}, {np.dtype(graph.indices.dtype).name} indices"
+        f"{rate})"
+    )
+    if graph.path is not None:
+        print(f"artifact: {graph.path}")
+
+    measurement = None
+    measure_seconds = None
+    names = metric_names if metric_names is not None else TABLE2_CORE_METRICS
+    if not args.no_measure:
+        started = time.perf_counter()
+        # the metric rng is its own stream, so a store-served graph measures
+        # identically to a freshly generated one
+        measurement = memoized_measure(
+            graph,
+            store,
+            metrics=names,
+            distance_sources=args.distance_sources,
+            rng=np.random.default_rng((args.seed, 1)),
+        )
+        measure_seconds = time.perf_counter() - started
+        print()
+        print(
+            _measurement_report(
+                {"rescaled": measurement},
+                names,
+                title=f"Sampled Table-2 metrics (sources="
+                f"{args.distance_sources if args.distance_sources else 'exact'})",
+            )
+        )
+    peak_rss = sample_peak_rss()
+    print(f"\npeak RSS: {peak_rss / 2**20:,.0f} MiB")
+
+    if args.json:
+        from repro.generators.registry import json_safe
+
+        report = {
+            "input": args.input,
+            "source_nodes": original.number_of_nodes,
+            "target_n": args.target_n,
+            "d": args.d,
+            "method": args.method,
+            "seed": args.seed,
+            "nodes": graph.n,
+            "edges": graph.m,
+            "index_dtype": np.dtype(graph.indices.dtype).name,
+            "encoding": args.encoding,
+            "content_hash": graph.content_hash,
+            "artifact": None if graph.path is None else str(graph.path),
+            "generation_seconds": generation_seconds,
+            "measure_seconds": measure_seconds,
+            "distance_sources": args.distance_sources,
+            "peak_rss_bytes": peak_rss,
+            "metrics": None
+            if measurement is None
+            else json_safe(measurement.to_jsonable()),
+        }
+        Path(args.json).write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"report written to {args.json}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # cache
 # --------------------------------------------------------------------------- #
 def cache_main(argv: list[str] | None = None) -> int:
@@ -679,7 +871,13 @@ def cache_main(argv: list[str] | None = None) -> int:
                 print(json.dumps(info, indent=2, sort_keys=True))
                 return 0
             info.pop("process_counters")
+            # flatten the per-category byte totals into their own rows
+            category_bytes = info.pop("category_bytes", {})
             rows = [[key, value] for key, value in info.items()]
+            rows.extend(
+                [f"bytes[{category}]", total]
+                for category, total in sorted(category_bytes.items())
+            )
             print(render_table(["property", "value"], rows, title=f"Artifact store at {args.store}"))
         else:
             removed = store.gc()
@@ -753,6 +951,7 @@ _COMMANDS = {
     "methods": methods_main,
     "run-experiment": run_experiment_main,
     "workload": workload_main,
+    "rescale-gen": rescale_gen_main,
     "cache": cache_main,
     "serve": serve_main,
     "trace": trace_main,
@@ -764,7 +963,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     usage = (
         "usage: python -m repro.cli "
-        "{dist,gen,compare,methods,run-experiment,workload,cache,serve,trace} ..."
+        "{dist,gen,compare,methods,run-experiment,workload,rescale-gen,"
+        "cache,serve,trace} ..."
     )
     if not argv:
         print(usage, file=sys.stderr)
@@ -793,6 +993,7 @@ __all__ = [
     "methods_main",
     "run_experiment_main",
     "workload_main",
+    "rescale_gen_main",
     "cache_main",
     "trace_main",
     "main",

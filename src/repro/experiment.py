@@ -43,6 +43,7 @@ Quickstart::
 
 from __future__ import annotations
 
+import itertools
 import json
 import time
 import warnings
@@ -60,6 +61,7 @@ from repro.exceptions import ExperimentError, ExperimentInterrupted
 from repro.generators.registry import get_generator, json_safe
 from repro.graph.io import read_edge_list
 from repro.graph.simple_graph import SimpleGraph
+from repro.kernels.backend import dispatch
 from repro.measure.plan import Measurement, MeasurementPlan, is_scalar_battery
 from repro.measure.registry import available_metrics
 from repro.metrics.summary import ScalarMetrics
@@ -151,12 +153,22 @@ class ExperimentSpec:
         ``{"rewiring": {"multiplier": 5.0}}``.
     backend:
         Kernel backend for the scalar metrics *and* the rewiring engine for
-        chain-based generation ("python", "csr" or "auto"; see
+        chain-based generation ("python", "csr", "biggraph" or "auto"; see
         :mod:`repro.kernels.backend`).  Metric values are identical on every
         backend and generated graphs are per-seed deterministic and
         invariant-exact on every engine, so the backend is deliberately
         **not** part of any store cache key: results computed by one backend
         are served to runs using the other.
+    shard_sources:
+        Maximum BFS-source block size per worker task for the million-node
+        tier.  When set together with ``workers > 1``, cells execute inline
+        in the parent process while their distance sweeps fan source blocks
+        of (at most) this size out across the worker pool — bounded-memory
+        sharded measurement of one huge graph, instead of cell-level
+        parallelism over many small ones.  The distance histogram is an
+        order-independent integer sum over sources, so sharded and unsharded
+        runs produce bit-identical records; like ``backend``, this execution
+        knob is deliberately **not** part of any store cache key.
     """
 
     topologies: Sequence[Any]
@@ -176,6 +188,7 @@ class ExperimentSpec:
     keep_graphs: bool = False
     generator_options: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
     backend: str | None = None
+    shard_sources: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "topologies", tuple(self.topologies))
@@ -240,9 +253,19 @@ class ExperimentSpec:
                     "scenarios=() is empty; use scenarios=None for no scenario dimension"
                 )
             object.__setattr__(self, "scenarios", parsed)
-        if self.backend is not None and self.backend not in ("python", "csr", "auto"):
+        if self.backend is not None and self.backend not in (
+            "python",
+            "csr",
+            "biggraph",
+            "auto",
+        ):
             raise ExperimentError(
-                f"backend must be 'python', 'csr' or 'auto', got {self.backend!r}"
+                "backend must be 'python', 'csr', 'biggraph' or 'auto', "
+                f"got {self.backend!r}"
+            )
+        if self.shard_sources is not None and self.shard_sources < 1:
+            raise ExperimentError(
+                f"shard_sources must be >= 1, got {self.shard_sources}"
             )
         for method, options in self.generator_options.items():
             if "backend" in options:
@@ -255,7 +278,7 @@ class ExperimentSpec:
     def topology_label(self, index: int) -> str:
         """Stable label of the ``index``-th topology entry."""
         entry = self.topologies[index]
-        if isinstance(entry, SimpleGraph):
+        if isinstance(entry, SimpleGraph) or getattr(entry, "is_biggraph", False):
             return f"graph-{index}"
         return str(entry)
 
@@ -343,6 +366,7 @@ class ExperimentSpec:
             else [scenario_label(scenario) for scenario in self.scenarios],
             "generator_options": {m: dict(o) for m, o in self.generator_options.items()},
             "backend": self.backend,
+            "shard_sources": self.shard_sources,
         }
 
 
@@ -491,9 +515,19 @@ def _derive_seed(
 _TOPOLOGY_CACHE: dict[str, SimpleGraph] = {}
 
 
+def _topology_content_hash(graph: Any) -> str:
+    """Content hash of a topology: text canonicalization for SimpleGraph,
+    the streamed CSR hash for a (possibly out-of-core) BigGraph."""
+    if getattr(graph, "is_biggraph", False):
+        from repro.graph.mmap_io import biggraph_content_hash
+
+        return graph.content_hash or biggraph_content_hash(graph.indptr, graph.indices)
+    return graph_content_hash(graph)
+
+
 def _resolve_topology(entry: Any) -> SimpleGraph:
     """Materialize a topology entry: graph, registered name, or edge-list path."""
-    if isinstance(entry, SimpleGraph):
+    if isinstance(entry, SimpleGraph) or getattr(entry, "is_biggraph", False):
         return entry
     key = str(entry)
     cached = _TOPOLOGY_CACHE.get(key)
@@ -568,6 +602,116 @@ def _absorb_worker_telemetry(record: RunRecord) -> None:
         if metrics:
             telemetry.merge_metrics(metrics)
     record.telemetry = None
+
+
+#: Worker-side cache of materialized sweep targets, keyed by the parent's
+#: per-graph token (see :func:`_make_sweep_executor`); bounded so a grid of
+#: many distinct big graphs cannot pile memory-maps up in every worker.
+_SWEEP_TARGET_CACHE: dict[int, Any] = {}
+_SWEEP_TARGET_CACHE_MAX = 4
+
+
+def _sweep_payload(graph: Any) -> tuple | None:
+    """A picklable recipe from which a worker rebuilds the sweep target.
+
+    BigGraphs ship as their on-disk artifact path (the worker memory-maps the
+    same bytes; a giant-component view ships its *source* path and is
+    re-derived deterministically), in-memory :class:`SimpleGraph` targets ship
+    as their canonical edge list.  ``None`` means the target is not shippable
+    (a BigGraph that was never persisted) and the sweep runs in-process.
+    """
+    if getattr(graph, "is_biggraph", False):
+        if graph.path is not None:
+            return ("biggraph", str(graph.path))
+        if graph.derived == "gcc" and graph.source_path is not None:
+            return ("biggraph_gcc", str(graph.source_path))
+        return None
+    return ("edges", graph.number_of_nodes, tuple(graph.edges()))
+
+
+def _materialize_sweep_target(payload: tuple) -> Any:
+    kind = payload[0]
+    if kind == "edges":
+        return SimpleGraph(payload[1], edges=payload[2])
+    from repro.kernels.biggraph import BigGraph, biggraph_giant_component
+
+    if kind == "biggraph":
+        return BigGraph.load(payload[1])
+    if kind == "biggraph_gcc":
+        return biggraph_giant_component(BigGraph.load(payload[1]))
+    raise ExperimentError(f"unknown sweep payload kind {kind!r}")
+
+
+def _sweep_block_in_worker(
+    task: tuple[int, tuple, tuple[int, ...]],
+) -> tuple[dict[int, int], dict[str, Any]]:
+    """Worker task of a sharded sweep: BFS one block of sources.
+
+    Returns the block's distance histogram plus this worker's telemetry
+    delta, which the parent folds in (mirroring ``_execute_cell_in_worker``).
+    """
+    token, payload, sources = task
+    graph = _SWEEP_TARGET_CACHE.get(token)
+    if graph is None:
+        if len(_SWEEP_TARGET_CACHE) >= _SWEEP_TARGET_CACHE_MAX:
+            _SWEEP_TARGET_CACHE.clear()
+        graph = _materialize_sweep_target(payload)
+        _SWEEP_TARGET_CACHE[token] = graph
+    backend = _WORKER_SPEC.backend if _WORKER_SPEC is not None else None
+    histogram = dispatch("bfs_histogram", graph, backend)(graph, list(sources))
+    return histogram, {
+        "events": telemetry.take_events() if telemetry.tracing_enabled() else [],
+        "metrics": telemetry.metrics_snapshot(reset=True),
+    }
+
+
+def _make_sweep_executor(
+    pool: ProcessPoolExecutor, block: int
+) -> Callable[[Any, Sequence[int]], dict[int, int] | None]:
+    """A :func:`~repro.measure.intermediates.shared_sweep` executor that fans
+    source blocks of (at most) ``block`` sources out across ``pool``.
+
+    Each distinct sweep target gets a token stashed on its measure cache, so
+    every worker materializes it once and serves later blocks from its local
+    cache.  Block histograms merge by integer addition, which is
+    bit-identical to the unsharded sweep for any block size or worker count.
+    """
+    tokens = itertools.count(1)
+
+    def executor(graph: Any, source_nodes: Sequence[int]) -> dict[int, int] | None:
+        if len(source_nodes) <= block:
+            return None  # one block: not worth the shipping overhead
+        payload = _sweep_payload(graph)
+        if payload is None:
+            return None
+        cache = graph._measure_cache
+        if cache is None:
+            cache = {}
+            graph._measure_cache = cache
+        token = cache.get("sweep-shard-token")
+        if token is None:
+            token = next(tokens)
+            cache["sweep-shard-token"] = token
+        futures = [
+            pool.submit(
+                _sweep_block_in_worker,
+                (token, payload, tuple(source_nodes[start : start + block])),
+            )
+            for start in range(0, len(source_nodes), block)
+        ]
+        merged: dict[int, int] = {}
+        for future in futures:
+            histogram, shipped = future.result()
+            for distance, count in histogram.items():
+                merged[distance] = merged.get(distance, 0) + count
+            telemetry.add_events(shipped.get("events") or [])
+            metrics = shipped.get("metrics")
+            if metrics:
+                telemetry.merge_metrics(metrics)
+        telemetry.counter_inc("repro_sweep_shards_total", len(futures))
+        return merged
+
+    return executor
 
 
 def _cell_cache_key(spec: ExperimentSpec, cell: ExperimentCell, topology_hash: str) -> str:
@@ -676,6 +820,7 @@ def _execute_cell(
     cell_key: str | None = None,
     topology_hash: str | None = None,
     read_cache: bool = True,
+    sweep_executor: Callable[[Any, Sequence[int]], dict[int, int] | None] | None = None,
 ) -> RunRecord:
     """Run one cell: build the graph, measure it, return the record.
 
@@ -699,8 +844,11 @@ def _execute_cell(
             cell_key=cell_key,
             topology_hash=topology_hash,
             read_cache=read_cache,
+            sweep_executor=sweep_executor,
         )
-        sp.set(n=record.nodes, m=record.edges)
+        # lifetime high-water mark of this process, sampled after every cell
+        # so the repro_peak_rss_bytes gauge tracks the heaviest cell so far
+        sp.set(n=record.nodes, m=record.edges, peak_rss=telemetry.sample_peak_rss())
         return record
 
 
@@ -712,10 +860,11 @@ def _execute_cell_impl(
     cell_key: str | None = None,
     topology_hash: str | None = None,
     read_cache: bool = True,
+    sweep_executor: Callable[[Any, Sequence[int]], dict[int, int] | None] | None = None,
 ) -> RunRecord:
     original = _resolve_topology(spec.topologies[cell.topology_index])
     if store is not None and topology_hash is None:
-        topology_hash = graph_content_hash(original)
+        topology_hash = _topology_content_hash(original)
 
     graph_key = None
     if cell.method == ORIGINAL_METHOD:
@@ -782,6 +931,7 @@ def _execute_cell_impl(
             rng=np.random.default_rng((cell.seed, 1)),
             read=read_cache,
             backend=spec.backend,
+            sweep_executor=sweep_executor,
         )
         if is_scalar_battery(spec.metrics):
             metrics = measurement.scalar_metrics()
@@ -830,6 +980,10 @@ def run_experiment(
     :class:`~concurrent.futures.ProcessPoolExecutor` (the spec is shipped to
     each worker once, at pool start-up).  Results are returned in grid order
     and are deterministic for a fixed spec regardless of the worker count.
+    With ``spec.shard_sources`` set, ``workers>1`` parallelizes *within* each
+    cell instead: cells execute inline while the pool BFS-sweeps blocks of
+    sources of one (possibly huge, memory-mapped) graph — the million-node
+    sharding mode, bit-identical to the unsharded run.
 
     ``store`` (an :class:`~repro.store.artifact_store.ArtifactStore` or a
     directory path) persists generated graphs, metric blocks and per-cell
@@ -906,7 +1060,7 @@ def _run_experiment(
                 originals[cell.topology_index] = _resolve_topology(
                     spec.topologies[cell.topology_index]
                 )
-                topo_hash = graph_content_hash(originals[cell.topology_index])
+                topo_hash = _topology_content_hash(originals[cell.topology_index])
                 topology_hashes[cell.topology_index] = topo_hash
             cell_key = _cell_cache_key(spec, cell, topo_hash)
             if resume:
@@ -980,6 +1134,34 @@ def _run_experiment(
                 # the in-flight cell is abandoned (no manifest written), but
                 # everything it memoized at the graph/metric level is kept
                 raise _interrupted("interrupt") from None
+        elif spec.shard_sources is not None:
+            # million-node mode: cells run inline (one huge graph rarely fits
+            # in several workers at once), and the pool parallelizes *within*
+            # each cell by sharding the BFS sweep's source blocks
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(spec, store, resume, telemetry.tracing_enabled()),
+            ) as pool:
+                sweep_executor = _make_sweep_executor(pool, spec.shard_sources)
+                try:
+                    for index, (cell, cell_key, topo_hash) in pending:
+                        if cancel is not None and cancel.is_set():
+                            raise _interrupted("cancelled")
+                        records[index] = _execute_cell(
+                            spec,
+                            cell,
+                            store=store,
+                            cell_key=cell_key,
+                            topology_hash=topo_hash,
+                            read_cache=resume,
+                            sweep_executor=sweep_executor,
+                        )
+                        completed += 1
+                        if on_cell is not None:
+                            on_cell(completed, len(cells))
+                except KeyboardInterrupt:
+                    raise _interrupted("interrupt") from None
         else:
             with ProcessPoolExecutor(
                 max_workers=workers,

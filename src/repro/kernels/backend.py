@@ -52,7 +52,11 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
     HAS_NUMPY = False
 
 #: Backend names accepted everywhere (``"auto"`` resolves to one of the others).
-BACKENDS = ("python", "csr")
+#: ``"biggraph"`` is the out-of-core tier: it is force-selected whenever the
+#: graph object itself is a :class:`~repro.kernels.biggraph.BigGraph`, and can
+#: also be requested explicitly to run the chunked kernels on a SimpleGraph's
+#: CSR view (the bit-equivalence tests do exactly that).
+BACKENDS = ("python", "csr", "biggraph")
 
 def _int_env(name: str, default: int) -> int:
     try:
@@ -98,6 +102,14 @@ _KERNEL_MODULES: dict[tuple[str, str], str] = {
     ("jdd_counts", "csr"): "repro.kernels.correlations",
     ("betweenness_accumulate", "python"): "repro.metrics.betweenness",
     ("betweenness_accumulate", "csr"): "repro.kernels.betweenness",
+    # the out-of-core tier: chunked kernels over memory-mapped CSR arrays
+    ("bfs_histogram", "biggraph"): "repro.kernels.biggraph",
+    ("bfs_sweep", "biggraph"): "repro.kernels.biggraph",
+    ("triangles_per_node", "biggraph"): "repro.kernels.biggraph",
+    ("edge_degree_moments", "biggraph"): "repro.kernels.biggraph",
+    ("second_order_total", "biggraph"): "repro.kernels.biggraph",
+    ("jdd_counts", "biggraph"): "repro.kernels.biggraph",
+    ("betweenness_accumulate", "biggraph"): "repro.kernels.biggraph",
     # rewiring engines: "python" = the per-move SimpleGraph loops, "csr" =
     # the batched flat-edge-array engine.  Unlike the metric kernels the two
     # engines draw different random streams, so for one seed they build
@@ -165,17 +177,21 @@ def resolve_backend(graph=None, backend: str | None = None) -> str:
     :data:`AUTO_THRESHOLD` nodes.  An explicit ``"csr"`` without NumPy warns
     once and degrades to ``"python"`` instead of failing.
     """
+    if getattr(graph, "is_biggraph", False):
+        # A BigGraph has no adjacency sets and no in-memory edge arrays —
+        # only the chunked biggraph kernels can touch it.
+        return "biggraph"
     name = _validate(backend if backend is not None else _state["backend"])
     if name == "auto":
         if not HAS_NUMPY:
             return "python"
         size = 0 if graph is None else graph.number_of_nodes
         return "csr" if size >= AUTO_THRESHOLD else "python"
-    if name == "csr" and not HAS_NUMPY:
+    if name in ("csr", "biggraph") and not HAS_NUMPY:
         global _warned_missing_numpy
         if not _warned_missing_numpy:
             warnings.warn(
-                "the 'csr' backend requires numpy (pip install repro[fast]); "
+                f"the {name!r} backend requires numpy (pip install repro[fast]); "
                 "falling back to the pure-Python backend",
                 RuntimeWarning,
                 stacklevel=2,

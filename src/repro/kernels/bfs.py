@@ -97,14 +97,14 @@ def _block_bits(edge_slots: int) -> int:
     return max(64, min(MAX_BLOCK_BITS, max_words * 64))
 
 
-@register_kernel("bfs_histogram", "csr")
-def bfs_histogram(graph: SimpleGraph, source_nodes: Sequence[int]) -> dict[int, int]:
-    """Counts of (source, node) pairs at each hop distance, sources as given.
+def histogram_from_csr(csr, source_nodes: Sequence[int]) -> dict[int, int]:
+    """Bit-parallel distance histogram over any CSR-shaped view.
 
-    Exact integer counts, identical to the pure-Python BFS sweep (self-pairs
-    included at distance 0, unreachable pairs excluded).
+    ``csr`` only needs ``n`` / ``degrees`` / ``indptr`` / ``indices``
+    attributes, so both :class:`CSRGraph` and the memory-mapped BigGraph
+    share this body.  Exact integer counts, identical to the pure-Python
+    BFS sweep (self-pairs included at distance 0, unreachable excluded).
     """
-    csr = csr_graph(graph)
     if csr.n == 0 or len(source_nodes) == 0:
         return {}
     sources = np.asarray(source_nodes, dtype=np.int64)
@@ -137,4 +137,16 @@ def bfs_histogram(graph: SimpleGraph, source_nodes: Sequence[int]) -> dict[int, 
     return {d: c for d, c in histogram.items() if c}
 
 
-__all__ = ["MAX_GATHER_BYTES", "MAX_BLOCK_BITS", "distances_from", "bfs_histogram"]
+@register_kernel("bfs_histogram", "csr")
+def bfs_histogram(graph: SimpleGraph, source_nodes: Sequence[int]) -> dict[int, int]:
+    """Counts of (source, node) pairs at each hop distance, sources as given."""
+    return histogram_from_csr(csr_graph(graph), source_nodes)
+
+
+__all__ = [
+    "MAX_GATHER_BYTES",
+    "MAX_BLOCK_BITS",
+    "distances_from",
+    "bfs_histogram",
+    "histogram_from_csr",
+]

@@ -79,7 +79,12 @@ def shared_target(graph: SimpleGraph, *, use_giant_component: bool = True) -> Si
     cache = _cache(graph)
     target = cache.get("gcc")
     if target is None:
-        target = giant_component(graph)
+        if getattr(graph, "is_biggraph", False):
+            from repro.kernels.biggraph import biggraph_giant_component
+
+            target = biggraph_giant_component(graph)
+        else:
+            target = giant_component(graph)
         cache["gcc"] = target
     return target
 
@@ -92,6 +97,7 @@ def shared_sweep(
     backend: str | None = None,
     want_betweenness: bool = False,
     want_edge_load: bool = False,
+    executor=None,
 ) -> SweepResult:
     """The unified BFS sweep of ``graph`` (one traversal, cached when exact).
 
@@ -102,6 +108,13 @@ def shared_sweep(
     backward pass.  A cached sweep missing a requested accumulation is
     upgraded — recomputed once with the union of everything requested so
     far, so no previously computed field is dropped from the cache.
+
+    ``executor`` is the sharding hook used by big-n experiment cells: a
+    callable ``(target, source_nodes) -> histogram | None`` that may fan the
+    source blocks out across a process pool.  It is consulted only for the
+    plain histogram sweep (the histogram is an order-independent integer sum
+    over sources, so a sharded merge is bit-identical); a ``None`` return
+    falls back to the in-process kernel.
     """
     n = graph.number_of_nodes
     if n == 0:
@@ -133,9 +146,13 @@ def shared_sweep(
         sp.set(cache="miss", sources=len(source_nodes))
         counter_inc("repro_intermediate_total", kind="sweep", outcome="miss")
         counter_inc("repro_sweep_sources_total", len(source_nodes))
-        histogram, centrality, edge_load = dispatch("bfs_sweep", graph, backend)(
-            graph, source_nodes, want_betweenness, want_edge_load
-        )
+        histogram = centrality = edge_load = None
+        if executor is not None and not want_betweenness and not want_edge_load:
+            histogram = executor(graph, source_nodes)
+        if histogram is None:
+            histogram, centrality, edge_load = dispatch("bfs_sweep", graph, backend)(
+                graph, source_nodes, want_betweenness, want_edge_load
+            )
         result = SweepResult(
             dict(sorted(histogram.items())), centrality, scale, edge_load
         )

@@ -258,12 +258,12 @@ class _RunContext:
 
     __slots__ = (
         "target", "sources", "rng", "backend",
-        "want_betweenness", "want_edge_load", "_memo",
+        "want_betweenness", "want_edge_load", "sweep_executor", "_memo",
     )
 
     def __init__(
         self, target, *, sources, rng, backend, want_betweenness,
-        want_edge_load=False,
+        want_edge_load=False, sweep_executor=None,
     ):
         self.target = target
         self.sources = sources
@@ -271,6 +271,7 @@ class _RunContext:
         self.backend = backend
         self.want_betweenness = want_betweenness
         self.want_edge_load = want_edge_load
+        self.sweep_executor = sweep_executor
         self._memo: dict[str, object] = {}
 
     def sweep(self) -> SweepResult:
@@ -283,6 +284,7 @@ class _RunContext:
                 backend=self.backend,
                 want_betweenness=self.want_betweenness,
                 want_edge_load=self.want_edge_load,
+                executor=self.sweep_executor,
             )
             self._memo["sweep"] = result
         return result
@@ -421,8 +423,13 @@ class MeasurementPlan:
         *,
         rng: RngLike = None,
         backend: str | None = None,
+        sweep_executor=None,
     ) -> Measurement:
-        """Measure ``graph``: every shared intermediate computed once."""
+        """Measure ``graph``: every shared intermediate computed once.
+
+        ``sweep_executor`` optionally shards the plain histogram sweep
+        across a pool — see :func:`repro.measure.intermediates.shared_sweep`.
+        """
         target = shared_target(graph, use_giant_component=self.use_giant_component)
         needed = self.needs()
         ctx = _RunContext(
@@ -432,6 +439,7 @@ class MeasurementPlan:
             backend=backend,
             want_betweenness="betweenness" in needed,
             want_edge_load="edge_load" in needed,
+            sweep_executor=sweep_executor,
         )
         return Measurement(
             {name: get_metric_def(name).formula(ctx) for name in self.metrics}

@@ -4,6 +4,7 @@ Layout under the store root::
 
     store.json                      # schema marker
     graphs/<k[:2]>/<k>/             # graph artifact dirs (payload + manifest)
+    biggraphs/<k[:2]>/<k>/          # memory-mapped BigGraph artifact dirs
     metrics/<k[:2]>/<k>.json        # memoized metric results
     cells/<k[:2]>/<k>.json          # per-cell experiment manifests
 
@@ -40,7 +41,10 @@ from repro.telemetry.metrics import counter_inc, counter_value
 PathLike = Union[str, Path]
 
 _MARKER_NAME = "store.json"
-_CATEGORIES = ("graphs", "metrics", "cells")
+_CATEGORIES = ("graphs", "biggraphs", "metrics", "cells")
+
+#: Categories stored as artifact *directories* (vs single JSON files).
+_DIR_CATEGORIES = ("graphs", "biggraphs")
 
 
 def _shard(category_dir: Path, key: str) -> Path:
@@ -173,6 +177,75 @@ class ArtifactStore:
         return loaded
 
     # ------------------------------------------------------------------ #
+    # biggraphs (memory-mapped CSR artifacts of the million-node tier)
+    # ------------------------------------------------------------------ #
+    def _biggraph_dir(self, key: str) -> Path:
+        return _shard(self.root / "biggraphs", key) / key
+
+    def has_biggraph(self, key: str) -> bool:
+        """Whether a BigGraph artifact exists for ``key``."""
+        return self._biggraph_dir(key).is_dir()
+
+    def biggraph_path(self, key: str) -> Path | None:
+        """The artifact directory of ``key`` (for direct mmap), or ``None``."""
+        directory = self._biggraph_dir(key)
+        return directory if directory.is_dir() else None
+
+    def put_biggraph(
+        self,
+        key: str,
+        graph,
+        *,
+        encoding: str = "raw",
+        metadata: dict[str, Any] | None = None,
+    ) -> dict[str, Any] | None:
+        """Store a :class:`~repro.kernels.biggraph.BigGraph` under ``key``.
+
+        Same atomic-publish and lost-race semantics as :meth:`put_graph`.
+        Returns the artifact meta dict, or ``None`` when the key was already
+        present.
+        """
+        from repro.graph.mmap_io import write_biggraph_artifact
+
+        final = self._biggraph_dir(key)
+        if final.is_dir():
+            return None
+        tmp = self._tmp_name(final)
+        meta = write_biggraph_artifact(tmp, graph, encoding=encoding, metadata=metadata)
+        try:
+            os.replace(tmp, final)
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)  # lost the race: keep the winner
+            if not final.is_dir():
+                raise
+        counter_inc("repro_store_writes_total", category="biggraphs")
+        counter_inc(
+            "repro_store_write_bytes_total",
+            sum(child.stat().st_size for child in final.iterdir() if child.is_file()),
+            category="biggraphs",
+        )
+        return meta
+
+    def get_biggraph(self, key: str):
+        """Memory-map the BigGraph stored under ``key`` (``None`` on a miss)."""
+        from repro.graph.mmap_io import load_biggraph
+
+        directory = self._biggraph_dir(key)
+        if not directory.is_dir():
+            counter_inc("repro_store_reads_total", category="biggraphs", outcome="miss")
+            return None
+        try:
+            loaded = load_biggraph(directory)
+        except (StoreError, OSError, ValueError, EOFError, zlib.error):
+            loaded = None  # corrupt entry: miss
+        counter_inc(
+            "repro_store_reads_total",
+            category="biggraphs",
+            outcome="hit" if loaded is not None else "miss",
+        )
+        return loaded
+
+    # ------------------------------------------------------------------ #
     # metrics and experiment cells
     # ------------------------------------------------------------------ #
     def put_metric(self, key: str, payload: dict[str, Any]) -> None:
@@ -226,22 +299,28 @@ class ArtifactStore:
             "code_version": code_version(),
             "compress": self.compress,
         }
-        total_bytes = 0
-        graph_count = 0
-        graphs = self.root / "graphs"
-        if graphs.exists():
-            for artifact in graphs.glob("*/*"):
-                if artifact.is_dir() and not artifact.name.endswith(".tmp"):
-                    graph_count += 1
-                    total_bytes += sum(
-                        child.stat().st_size for child in artifact.iterdir() if child.is_file()
-                    )
-        counts["graphs"] = graph_count
+        category_bytes: dict[str, int] = {}
+        for category in _DIR_CATEGORIES:
+            count = 0
+            size = 0
+            base = self.root / category
+            if base.exists():
+                for artifact in base.glob("*/*"):
+                    if artifact.is_dir() and not artifact.name.endswith(".tmp"):
+                        count += 1
+                        size += sum(
+                            child.stat().st_size
+                            for child in artifact.iterdir()
+                            if child.is_file()
+                        )
+            counts[category] = count
+            category_bytes[category] = size
         for category in ("metrics", "cells"):
             entries = list(self._iter_json(category))
             counts[category] = len(entries)
-            total_bytes += sum(path.stat().st_size for _, path in entries)
-        counts["total_bytes"] = total_bytes
+            category_bytes[category] = sum(path.stat().st_size for _, path in entries)
+        counts["category_bytes"] = category_bytes
+        counts["total_bytes"] = sum(category_bytes.values())
         return counts
 
     def info(self) -> dict[str, Any]:
@@ -263,7 +342,7 @@ class ArtifactStore:
         (e.g. metrics of an original topology).
         """
         current = code_version()
-        removed = {"graphs": 0, "metrics": 0, "cells": 0, "tmp": 0}
+        removed = {"graphs": 0, "biggraphs": 0, "metrics": 0, "cells": 0, "tmp": 0}
 
         cutoff = time.time() - self.GC_TMP_AGE_SECONDS
         for tmp in self.root.glob("*/*/.*.tmp"):
@@ -294,6 +373,20 @@ class ArtifactStore:
                     removed["graphs"] += 1
                 else:
                     live_graphs.add(artifact.name)
+
+        biggraphs = self.root / "biggraphs"
+        if biggraphs.exists():
+            for artifact in sorted(biggraphs.glob("*/*")):
+                if not artifact.is_dir():
+                    continue
+                try:
+                    meta = json.loads((artifact / "meta.json").read_text())
+                    stale = meta["metadata"].get("code_version") not in (None, current)
+                except (OSError, json.JSONDecodeError, KeyError):
+                    stale = True  # unreadable meta: corrupt artifact
+                if stale:
+                    shutil.rmtree(artifact, ignore_errors=True)
+                    removed["biggraphs"] += 1
 
         for category in ("metrics", "cells"):
             for key, path in self._iter_json(category):

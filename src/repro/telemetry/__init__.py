@@ -42,6 +42,7 @@ from repro.telemetry.metrics import (
     observe,
     render_prometheus,
     reset_metrics,
+    sample_peak_rss,
 )
 
 __all__ = [
@@ -71,4 +72,5 @@ __all__ = [
     "render_prometheus",
     "reset_metrics",
     "get_registry",
+    "sample_peak_rss",
 ]

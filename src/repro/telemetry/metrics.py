@@ -23,6 +23,7 @@ as ``summary`` families with quantile labels).
 
 from __future__ import annotations
 
+import sys
 import threading
 from typing import Any, Iterable
 
@@ -39,6 +40,7 @@ __all__ = [
     "render_prometheus",
     "reset_metrics",
     "get_registry",
+    "sample_peak_rss",
 ]
 
 LabelKey = tuple[tuple[str, str], ...]
@@ -312,3 +314,22 @@ def render_prometheus() -> str:
 
 def reset_metrics() -> None:
     _REGISTRY.reset()
+
+
+def sample_peak_rss() -> int:
+    """Sample the process's lifetime peak RSS into ``repro_peak_rss_bytes``.
+
+    Reads ``getrusage(RUSAGE_SELF).ru_maxrss`` (kilobytes on Linux, bytes on
+    macOS), sets the ``repro_peak_rss_bytes`` gauge, and returns the value in
+    bytes — the memory observability hook of the million-node tier, sampled
+    around experiment cells and exposed via ``GET /v1/metrics``.  Returns 0
+    (and leaves the gauge untouched) on platforms without ``resource``.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    bytes_peak = int(peak) if sys.platform == "darwin" else int(peak) * 1024
+    gauge_set("repro_peak_rss_bytes", float(bytes_peak))
+    return bytes_peak

@@ -92,7 +92,7 @@ class TestCSRGraph:
 
 class TestBackendRegistry:
     def test_available_backends(self):
-        assert available_backends() == ("python", "csr")
+        assert available_backends() == ("python", "csr", "biggraph")
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):

@@ -180,7 +180,7 @@ def test_gc_drops_stale_versions_orphans_and_temporaries(store, triangle_graph):
     fresh.write_text("{}")
 
     removed = store.gc()
-    assert removed == {"graphs": 0, "metrics": 1, "cells": 1, "tmp": 1}
+    assert removed == {"graphs": 0, "biggraphs": 0, "metrics": 1, "cells": 1, "tmp": 1}
     assert fresh.exists() and not tmp.exists()
     # the live entries survived
     assert store.get_graph(graph_key) is not None
